@@ -1,0 +1,94 @@
+// Experiment F2: the two-delay-element chain (companion paper, Figure 1(c)).
+//
+// An input quantity X is placed in B_0 and handed through the color-coded
+// stages R_1, G_1, B_1, R_2, G_2, B_2 to the output Y = R_3 by the
+// self-timed three-phase handshake. The figure shows the expected crisp
+// alternation of transfer phases; the table quantifies stage peaks, arrival
+// time, and delivered fraction.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/plot.hpp"
+#include "async/chain.hpp"
+#include "core/network.hpp"
+#include "sim/ode.hpp"
+
+namespace {
+using namespace mrsc;
+}  // namespace
+
+int main() {
+  std::printf("== F2: two-delay-element self-timed chain (X = 1.0)\n");
+  std::printf("   (k_slow=1, k_fast=1000; companion Fig. 1(c))\n\n");
+
+  core::ReactionNetwork net;
+  async::ChainSpec spec;
+  spec.elements = 2;
+  const async::ChainHandles chain = async::build_delay_chain(net, spec);
+  net.set_initial(chain.input, 1.0);
+
+  sim::OdeOptions options;
+  options.t_end = 70.0;
+  options.record_interval = 0.2;
+  const sim::OdeResult run = sim::simulate_ode(net, options);
+
+  const std::vector<core::SpeciesId> ids = {
+      chain.input,   chain.red[0],  chain.green[0], chain.blue[0],
+      chain.red[1],  chain.green[1], chain.blue[1],  chain.output};
+  analysis::AsciiPlotOptions plot;
+  plot.width = 110;
+  plot.height = 16;
+  plot.y_min = 0.0;
+  plot.y_max = 1.05;
+  std::printf("%s\n",
+              analysis::plot_trajectory(run.trajectory, net, ids, plot)
+                  .c_str());
+
+  std::printf("%-8s %-10s %-12s\n", "stage", "peak", "peak time");
+  for (const core::SpeciesId id : ids) {
+    double peak = -1.0;
+    double peak_time = 0.0;
+    for (std::size_t k = 0; k < run.trajectory.sample_count(); ++k) {
+      if (run.trajectory.value(k, id) > peak) {
+        peak = run.trajectory.value(k, id);
+        peak_time = run.trajectory.time(k);
+      }
+    }
+    std::printf("%-8s %-10.3f %-12.1f\n", net.species_name(id).c_str(), peak,
+                peak_time);
+  }
+
+  std::printf("\ndelivered Y at t=%.0f: %.4f of 1.0\n", options.t_end,
+              run.trajectory.final_value(chain.output));
+  std::printf(
+      "(The residual sits in the last element: once Y — a red type — is\n"
+      " present it suppresses the red-absence indicator that gates the\n"
+      " final green-to-blue step, stalling the last ~1%% of the transfer.)\n");
+
+  std::printf("\n== F2b: chain length scaling\n\n");
+  std::printf("%-10s %-14s %-14s\n", "elements", "delivered Y", "t_90%%");
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 6u}) {
+    core::ReactionNetwork long_net;
+    async::ChainSpec long_spec;
+    long_spec.elements = n;
+    const async::ChainHandles long_chain =
+        async::build_delay_chain(long_net, long_spec);
+    long_net.set_initial(long_chain.input, 1.0);
+    sim::OdeOptions long_options;
+    long_options.t_end = 40.0 * static_cast<double>(n + 1);
+    long_options.record_interval = 0.2;
+    const sim::OdeResult long_run = sim::simulate_ode(long_net, long_options);
+    double t90 = -1.0;
+    for (std::size_t k = 0; k < long_run.trajectory.sample_count(); ++k) {
+      if (long_run.trajectory.value(k, long_chain.output) > 0.9) {
+        t90 = long_run.trajectory.time(k);
+        break;
+      }
+    }
+    std::printf("%-10zu %-14.4f %-14.1f\n", n,
+                long_run.trajectory.final_value(long_chain.output), t90);
+  }
+  std::printf("(Arrival time grows linearly with the chain length: three\n"
+              " globally ordered phases per element.)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment T3: DNA strand displacement as the experimental chassis.
+//
+// Compiles this library's constructions to DSD gate cascades
+// (Soloveichik-style, fuel species at C0) and reports:
+//   (a) the size blow-up table — species/reactions before vs after, and
+//   (b) behavioural fidelity — trajectory deviation of a compiled network
+//       against its formal original, as a function of the fuel supply.
+#include <cmath>
+#include <cstdio>
+
+#include "async/chain.hpp"
+#include "core/builder.hpp"
+#include "dna/dsd.hpp"
+#include "dsp/filters.hpp"
+#include "sim/ode.hpp"
+#include "sync/clock.hpp"
+
+namespace {
+using namespace mrsc;
+
+void blow_up_row(const char* name, const core::ReactionNetwork& formal) {
+  const dna::DsdCompilation compiled = dna::compile_to_dsd(formal);
+  std::printf("%-22s %8zu %10zu %10zu %10zu %8.1fx\n", name,
+              compiled.original_stats.species,
+              compiled.original_stats.reactions,
+              compiled.compiled_stats.species,
+              compiled.compiled_stats.reactions,
+              static_cast<double>(compiled.compiled_stats.reactions) /
+                  static_cast<double>(compiled.original_stats.reactions));
+}
+
+core::ReactionNetwork cascade() {
+  core::ReactionNetwork net;
+  core::NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.species("D", 0.4);
+  b.reaction("A -> B", 1.0);
+  b.reaction("B -> C", 0.5);
+  b.reaction("B + D -> E", 2.0);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== T3a: DSD compilation blow-up (fuel C0=100)\n\n");
+  std::printf("%-22s %8s %10s %10s %10s %8s\n", "design", "species",
+              "reactions", "dsd spec.", "dsd rxn.", "factor");
+
+  {
+    core::ReactionNetwork net;
+    sync::build_clock(net, {});
+    blow_up_row("clock", net);
+  }
+  {
+    core::ReactionNetwork net;
+    async::ChainSpec spec;
+    spec.elements = 2;
+    async::build_delay_chain(net, spec);
+    blow_up_row("delay chain (n=2)", net);
+  }
+  {
+    auto design = dsp::make_moving_average();
+    blow_up_row("moving-average", *design.network);
+  }
+  {
+    auto design = dsp::make_second_order_iir();
+    blow_up_row("second-order IIR", *design.network);
+  }
+  std::printf(
+      "\n(Every reaction becomes 2 DSD steps if unimolecular, 4 if\n"
+      " bimolecular, plus fuel/intermediate/waste species — the cost of a\n"
+      " physically implementable chassis.)\n\n");
+
+  std::printf("== T3b: behavioural fidelity vs fuel supply (cascade "
+              "A->B->C, B+D->E)\n\n");
+  const core::ReactionNetwork formal = cascade();
+  sim::OdeOptions ode;
+  ode.t_end = 6.0;
+  const sim::OdeResult formal_run = sim::simulate_ode(formal, ode);
+
+  std::printf("%-10s %-14s %-14s\n", "fuel C0", "max |dC|", "final C err");
+  for (const double fuel : {3.0, 10.0, 30.0, 100.0, 300.0}) {
+    dna::DsdOptions options;
+    options.fuel_initial = fuel;
+    options.q_max = 2000.0;
+    const dna::DsdCompilation compiled = dna::compile_to_dsd(formal, options);
+    const sim::OdeResult dsd_run = sim::simulate_ode(compiled.network, ode);
+    const core::SpeciesId cf = *formal.find_species("C");
+    const core::SpeciesId cd = *compiled.network.find_species("C");
+    double worst = 0.0;
+    for (double t = 0.25; t <= 6.0; t += 0.25) {
+      worst = std::max(worst, std::abs(dsd_run.trajectory.value_at(t, cd) -
+                                       formal_run.trajectory.value_at(t, cf)));
+    }
+    const double final_err = std::abs(dsd_run.trajectory.final_value(cd) -
+                                      formal_run.trajectory.final_value(cf));
+    std::printf("%-10.0f %-14.4f %-14.4f\n", fuel, worst, final_err);
+  }
+  std::printf(
+      "\n(Fidelity improves with the fuel supply: while fuels stay near C0\n"
+      " the compiled kinetics match the formal network; scarce fuels starve\n"
+      " the gates. This is the fuel-provisioning rule for a wet-lab run.)\n");
+  return 0;
+}

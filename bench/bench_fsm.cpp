@@ -1,0 +1,174 @@
+// Experiment F6 (extension): general finite state machines.
+//
+// The paper's closing claim — delay elements plus computational constructs
+// give "general circuit functions" — made concrete: arbitrary Mealy machines
+// compiled to clocked reaction networks, executed cycle-accurately, and
+// verified symbol-for-symbol against an exact software reference. Also
+// reports the compilation size table (species/reactions vs |states| x
+// |alphabet|).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/harness.hpp"
+#include "fsm/fsm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace mrsc;
+}  // namespace
+
+int main() {
+  std::printf("== F6: '101' sequence detector on a 16-bit stream\n\n");
+  {
+    const fsm::FsmSpec spec = fsm::make_sequence_detector("101");
+    core::ReactionNetwork net;
+    const fsm::FsmHandles machine = fsm::build_fsm(net, spec);
+    const std::vector<std::size_t> bits = {1, 0, 1, 0, 1, 1, 0, 1,
+                                           1, 0, 1, 0, 0, 1, 0, 1};
+    analysis::ClockedRunOptions options;
+    options.ode.t_end =
+        analysis::suggest_t_end(spec.clock, net.rate_policy(), bits.size());
+    const auto run = analysis::run_fsm(net, machine, bits, options);
+    const fsm::FsmTrace reference = fsm::evaluate_reference(spec, bits);
+
+    std::printf("bits:      ");
+    for (const std::size_t b : bits) std::printf("%zu ", b);
+    std::printf("\nmol state: ");
+    for (const std::size_t s : run.states) std::printf("%zu ", s);
+    std::printf("\nref state: ");
+    for (const std::size_t s : reference.states) std::printf("%zu ", s);
+    std::printf("\nmatch at:  ");
+    std::size_t state_errors = 0;
+    std::size_t output_errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      std::printf("%s ", run.outputs[i] != fsm::kNoOutput ? "^" : ".");
+      if (run.states[i] != reference.states[i]) ++state_errors;
+      if (run.outputs[i] != reference.outputs[i]) ++output_errors;
+    }
+    std::printf("\n\nstate errors: %zu/16, output errors: %zu/16\n\n",
+                state_errors, output_errors);
+  }
+
+  std::printf("== F6b: random-machine conformance (8 machines x 10 steps)\n\n");
+  {
+    util::Rng rng(99);
+    std::size_t total_steps = 0;
+    std::size_t total_errors = 0;
+    for (int machine_index = 0; machine_index < 8; ++machine_index) {
+      fsm::FsmSpec spec;
+      spec.num_states = 2 + rng.uniform_below(4);
+      spec.num_inputs = 2 + rng.uniform_below(2);
+      spec.num_outputs = 2;
+      spec.initial_state = rng.uniform_below(spec.num_states);
+      spec.prefix = "rnd" + std::to_string(machine_index);
+      spec.next_state.assign(spec.num_states,
+                             std::vector<std::size_t>(spec.num_inputs, 0));
+      spec.output.assign(
+          spec.num_states,
+          std::vector<std::size_t>(spec.num_inputs, fsm::kNoOutput));
+      for (std::size_t s = 0; s < spec.num_states; ++s) {
+        for (std::size_t a = 0; a < spec.num_inputs; ++a) {
+          spec.next_state[s][a] = rng.uniform_below(spec.num_states);
+          if (rng.uniform() < 0.5) {
+            spec.output[s][a] = rng.uniform_below(spec.num_outputs);
+          }
+        }
+      }
+      std::vector<std::size_t> inputs(10);
+      for (std::size_t& a : inputs) a = rng.uniform_below(spec.num_inputs);
+
+      core::ReactionNetwork net;
+      const fsm::FsmHandles handles = fsm::build_fsm(net, spec);
+      analysis::ClockedRunOptions options;
+      options.ode.t_end = analysis::suggest_t_end(
+          spec.clock, net.rate_policy(), inputs.size());
+      const auto run = analysis::run_fsm(net, handles, inputs, options);
+      const fsm::FsmTrace reference = fsm::evaluate_reference(spec, inputs);
+      std::size_t errors = 0;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (run.states[i] != reference.states[i]) ++errors;
+        if (run.outputs[i] != reference.outputs[i]) ++errors;
+      }
+      std::printf("machine %d: %zu states x %zu inputs -> errors %zu/20\n",
+                  machine_index, spec.num_states, spec.num_inputs, errors);
+      total_steps += 2 * inputs.size();
+      total_errors += errors;
+    }
+    std::printf("\ntotal: %zu errors over %zu checked values\n\n",
+                total_errors, total_steps);
+  }
+
+  std::printf("== F6c: compilation size vs machine size\n\n");
+  std::printf("%-20s %-10s %-12s\n", "states x inputs", "species",
+              "reactions");
+  for (const std::size_t states : {2u, 4u, 8u, 16u}) {
+    fsm::FsmSpec spec;
+    spec.num_states = states;
+    spec.num_inputs = 2;
+    spec.num_outputs = 1;
+    spec.next_state.assign(states, std::vector<std::size_t>(2, 0));
+    spec.output.assign(states,
+                       std::vector<std::size_t>(2, fsm::kNoOutput));
+    for (std::size_t s = 0; s < states; ++s) {
+      spec.next_state[s][0] = (s + 1) % states;
+      spec.next_state[s][1] = 0;
+    }
+    spec.prefix = "sz" + std::to_string(states);
+    core::ReactionNetwork net;
+    fsm::build_fsm(net, spec);
+    std::printf("%3zu x 2              %-10zu %-12zu\n", states,
+                net.species_count(), net.reaction_count());
+  }
+  std::printf(
+      "\n(Linear in |states| x |alphabet|: one reaction per transition plus\n"
+      " one write-back per state plus the fixed clock.)\n");
+
+  std::printf("\n== F6d: minimization — fewer states, fewer molecules\n\n");
+  {
+    // A redundant 4-state parity machine (two behaviourally equivalent
+    // copies of each state) vs its minimized form.
+    fsm::FsmSpec redundant;
+    redundant.num_states = 4;
+    redundant.num_inputs = 2;
+    redundant.num_outputs = 2;
+    redundant.initial_state = 0;
+    redundant.prefix = "red";
+    redundant.next_state = {{2, 3}, {3, 2}, {0, 1}, {1, 0}};
+    redundant.output = {{0, 1}, {1, 0}, {0, 1}, {1, 0}};
+    const fsm::MinimizationResult minimized = fsm::minimize(redundant);
+
+    core::ReactionNetwork before_net;
+    fsm::build_fsm(before_net, redundant);
+    core::ReactionNetwork after_net;
+    fsm::FsmSpec after_spec = minimized.spec;
+    after_spec.prefix = "minred";
+    fsm::build_fsm(after_net, after_spec);
+
+    std::printf("%-14s %-10s %-10s %-12s\n", "machine", "states", "species",
+                "reactions");
+    std::printf("%-14s %-10zu %-10zu %-12zu\n", "redundant",
+                redundant.num_states, before_net.species_count(),
+                before_net.reaction_count());
+    std::printf("%-14s %-10zu %-10zu %-12zu\n", "minimized",
+                minimized.spec.num_states, after_net.species_count(),
+                after_net.reaction_count());
+
+    // Conformance of the minimized machine against the original reference.
+    util::Rng rng(7);
+    std::vector<std::size_t> inputs(20);
+    for (std::size_t& a : inputs) a = rng.uniform_below(2);
+    const fsm::FsmTrace a_trace = fsm::evaluate_reference(redundant, inputs);
+    const fsm::FsmTrace b_trace =
+        fsm::evaluate_reference(minimized.spec, inputs);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (a_trace.outputs[i] != b_trace.outputs[i]) ++mismatches;
+    }
+    std::printf("\noutput mismatches over 20 random steps: %zu\n",
+                mismatches);
+    std::printf("(Partition-refinement minimization halves the compiled\n"
+                " footprint here while preserving behaviour exactly — state\n"
+                " count is molecule count in this technology.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Experiment T4: substrate performance (google-benchmark).
+//
+// Throughput of the simulation substrate as a function of network size: RHS
+// evaluation, Jacobian assembly, adaptive ODE steps, SSA event processing,
+// and whole-design runs. This is the "simulator scaling" table that stands
+// in for the authors' testbed characterization.
+#include <benchmark/benchmark.h>
+
+#include "async/chain.hpp"
+#include "core/network.hpp"
+#include "dsp/filters.hpp"
+#include "sim/mass_action.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+#include "sync/clock.hpp"
+#include "util/matrix.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+core::ReactionNetwork chain_network(std::size_t elements) {
+  core::ReactionNetwork net;
+  async::ChainSpec spec;
+  spec.elements = elements;
+  const async::ChainHandles chain = async::build_delay_chain(net, spec);
+  net.set_initial(chain.input, 1.0);
+  return net;
+}
+
+void BM_RhsEvaluation(benchmark::State& state) {
+  const core::ReactionNetwork net =
+      chain_network(static_cast<std::size_t>(state.range(0)));
+  const sim::MassActionSystem system(net);
+  std::vector<double> x = net.initial_state();
+  std::vector<double> dxdt(x.size());
+  for (auto _ : state) {
+    system.rhs(x, dxdt);
+    benchmark::DoNotOptimize(dxdt.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(system.reaction_count()));
+  state.counters["species"] = static_cast<double>(system.species_count());
+  state.counters["reactions"] = static_cast<double>(system.reaction_count());
+}
+BENCHMARK(BM_RhsEvaluation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_JacobianAssembly(benchmark::State& state) {
+  const core::ReactionNetwork net =
+      chain_network(static_cast<std::size_t>(state.range(0)));
+  const sim::MassActionSystem system(net);
+  std::vector<double> x = net.initial_state();
+  util::Matrix jac;
+  for (auto _ : state) {
+    system.jacobian(x, jac);
+    benchmark::DoNotOptimize(jac.data().data());
+  }
+}
+BENCHMARK(BM_JacobianAssembly)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AdaptiveOdeRun(benchmark::State& state) {
+  const core::ReactionNetwork net =
+      chain_network(static_cast<std::size_t>(state.range(0)));
+  sim::OdeOptions options;
+  options.t_end = 10.0;
+  options.record_interval = 1.0;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const sim::OdeResult result = simulate_ode(net, options);
+    steps = result.steps_accepted;
+    benchmark::DoNotOptimize(result.trajectory.sample_count());
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_AdaptiveOdeRun)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SsaDirect(benchmark::State& state) {
+  const core::ReactionNetwork net = chain_network(2);
+  sim::SsaOptions options;
+  options.t_end = 20.0;
+  options.omega = static_cast<double>(state.range(0));
+  options.method = sim::SsaMethod::kDirect;
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const sim::SsaResult result = simulate_ssa(net, options);
+    events += result.events;
+    benchmark::DoNotOptimize(result.final_counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SsaDirect)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SsaNextReaction(benchmark::State& state) {
+  const core::ReactionNetwork net = chain_network(2);
+  sim::SsaOptions options;
+  options.t_end = 20.0;
+  options.omega = static_cast<double>(state.range(0));
+  options.method = sim::SsaMethod::kNextReaction;
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const sim::SsaResult result = simulate_ssa(net, options);
+    events += result.events;
+    benchmark::DoNotOptimize(result.final_counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SsaNextReaction)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClockCycle(benchmark::State& state) {
+  core::ReactionNetwork net;
+  sync::build_clock(net, {});
+  sim::OdeOptions options;
+  options.t_end = 30.0;  // ~one period
+  options.record_interval = 1.0;
+  for (auto _ : state) {
+    const sim::OdeResult result = simulate_ode(net, options);
+    benchmark::DoNotOptimize(result.steps_accepted);
+  }
+}
+BENCHMARK(BM_ClockCycle)->Unit(benchmark::kMillisecond);
+
+void BM_CompileMovingAverage(benchmark::State& state) {
+  for (auto _ : state) {
+    auto design = dsp::make_moving_average();
+    benchmark::DoNotOptimize(design.network->reaction_count());
+  }
+}
+BENCHMARK(BM_CompileMovingAverage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Sequential logic with molecular reactions: a 3-bit binary counter.
+//
+//   $ ./counter
+//
+// Each bit is a dual-rail pair of species; once per clock cycle an increment
+// token ripples through the bits, toggling and carrying exactly like a
+// gate-level ripple counter — which is precisely what it is verified
+// against, cycle by cycle.
+#include <cstdio>
+
+#include "analysis/harness.hpp"
+#include "dsp/counter.hpp"
+#include "logic/netlist.hpp"
+
+int main() {
+  using namespace mrsc;
+
+  core::ReactionNetwork net;
+  dsp::CounterSpec spec;
+  spec.bits = 3;
+  spec.initial_value = 2;
+  const dsp::CounterHandles counter = dsp::build_counter(net, spec);
+  std::printf("3-bit molecular counter starting at %llu: %zu species, %zu "
+              "reactions\n\n",
+              static_cast<unsigned long long>(spec.initial_value),
+              net.species_count(), net.reaction_count());
+
+  constexpr std::size_t kIncrements = 14;
+  analysis::ClockedRunOptions options;
+  options.ode.t_end =
+      analysis::suggest_t_end(spec.clock, net.rate_policy(), kIncrements);
+  const auto run = analysis::run_counter(net, counter, kIncrements, options);
+
+  // Gate-level golden model for comparison.
+  const logic::Netlist golden =
+      logic::make_counter_netlist(spec.bits, spec.initial_value);
+  logic::Simulation sim(golden);
+  const logic::NetId enable = *golden.find("enable");
+
+  std::printf("%-7s %-12s %-12s\n", "cycle", "molecular", "gate-level");
+  for (std::size_t i = 0; i < kIncrements; ++i) {
+    sim.set_input(enable, true);
+    sim.evaluate();
+    sim.clock_edge();
+    sim.evaluate();
+    std::printf("%-7zu %-12llu %-12llu%s\n", i,
+                static_cast<unsigned long long>(run.values[i]),
+                static_cast<unsigned long long>(sim.output_word()),
+                run.values[i] == sim.output_word() ? "" : "   <-- MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// From abstract chemistry to a DNA strand displacement implementation.
+//
+//   $ ./dsd_compile
+//
+// Compiles a small reaction cascade to Soloveichik-style DSD gate reactions
+// with explicit fuel species, prints both networks, and co-simulates them to
+// show the compiled implementation reproduces the formal kinetics while the
+// fuels last.
+#include <cstdio>
+
+#include "core/builder.hpp"
+#include "dna/dsd.hpp"
+#include "sim/ode.hpp"
+
+int main() {
+  using namespace mrsc;
+
+  core::ReactionNetwork formal;
+  core::NetworkBuilder builder(formal);
+  builder.species("A", 1.0);
+  builder.species("D", 0.4);
+  builder.reaction("A -> B", 1.0);
+  builder.reaction("B -> C", 0.5);
+  builder.reaction("B + D -> E", 2.0);
+  std::printf("formal network:\n%s\n", formal.to_string().c_str());
+
+  dna::DsdOptions options;
+  options.fuel_initial = 100.0;
+  options.q_max = 2000.0;
+  const dna::DsdCompilation compiled = dna::compile_to_dsd(formal, options);
+  std::printf("compiled DSD network (%zu species, %zu reactions, %zu "
+              "fuels):\n%s\n",
+              compiled.compiled_stats.species,
+              compiled.compiled_stats.reactions, compiled.fuels.size(),
+              compiled.network.to_string().c_str());
+
+  sim::OdeOptions ode;
+  ode.t_end = 6.0;
+  const sim::OdeResult formal_run = simulate_ode(formal, ode);
+  const sim::OdeResult dsd_run = simulate_ode(compiled.network, ode);
+
+  std::printf("%-6s %-10s %-10s %-10s %-10s\n", "t", "C formal", "C dsd",
+              "E formal", "E dsd");
+  for (double t = 1.0; t <= 6.0; t += 1.0) {
+    std::printf("%-6.1f %-10.4f %-10.4f %-10.4f %-10.4f\n", t,
+                formal_run.trajectory.value_at(t, *formal.find_species("C")),
+                dsd_run.trajectory.value_at(
+                    t, *compiled.network.find_species("C")),
+                formal_run.trajectory.value_at(t, *formal.find_species("E")),
+                dsd_run.trajectory.value_at(
+                    t, *compiled.network.find_species("E")));
+  }
+  std::printf("\nThe DSD implementation tracks the formal network: the\n"
+              "strand-displacement chassis preserves the computation.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// General sequential computation: a finite state machine in chemistry.
+//
+//   $ ./sequence_detector
+//
+// Compiles the KMP automaton for the bit pattern "101" into a clocked
+// reaction network. One input bit per clock cycle arrives as a molecular
+// token; the machine's one-hot state species transition; a match emits an
+// output token. Overlapping occurrences are counted correctly — it is a real
+// automaton, not a pattern hack.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/harness.hpp"
+#include "fsm/fsm.hpp"
+
+int main() {
+  using namespace mrsc;
+
+  const fsm::FsmSpec spec = fsm::make_sequence_detector("101");
+  core::ReactionNetwork net;
+  const fsm::FsmHandles machine = fsm::build_fsm(net, spec);
+  std::printf("'101' detector: %zu states, %zu species, %zu reactions\n\n",
+              spec.num_states, net.species_count(), net.reaction_count());
+
+  const std::vector<std::size_t> bits = {1, 0, 1, 0, 1, 1, 0, 1, 1, 0, 1};
+  analysis::ClockedRunOptions options;
+  options.ode.t_end =
+      analysis::suggest_t_end(spec.clock, net.rate_policy(), bits.size());
+  const auto run = analysis::run_fsm(net, machine, bits, options);
+  const fsm::FsmTrace reference = fsm::evaluate_reference(spec, bits);
+
+  std::printf("%-6s %-5s %-10s %-10s %-8s\n", "cycle", "bit", "state(mol)",
+              "state(ref)", "match?");
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool match = run.outputs[i] != fsm::kNoOutput;
+    if (match) ++matches;
+    std::printf("%-6zu %-5zu %-10zu %-10zu %s%s\n", i, bits[i],
+                run.states[i], reference.states[i], match ? "MATCH" : "-",
+                run.states[i] == reference.states[i] ? "" : "  <-- MISMATCH");
+  }
+  std::printf("\n'101' occurred %zu times (expected 4, counting overlaps)\n",
+              matches);
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "analysis/conservation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace mrsc::analysis {
+
+std::vector<std::vector<double>> conservation_laws(
+    const core::ReactionNetwork& network, double tol) {
+  const std::size_t n = network.species_count();   // columns of S^T
+  const std::size_t m = network.reaction_count();  // rows of S^T
+  if (n == 0) return {};
+
+  // Build A = S^T (m x n); we want the null space of A.
+  const util::Matrix s = network.stoichiometric_matrix();
+  util::Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = s(c, r);
+  }
+
+  // Gaussian elimination to reduced row echelon form with partial pivoting.
+  std::vector<std::size_t> pivot_column_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    // Find the largest pivot in this column at or below `row`.
+    std::size_t best = row;
+    for (std::size_t r = row + 1; r < m; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(best, col))) best = r;
+    }
+    if (std::abs(a(best, col)) < tol) continue;  // free column
+    if (best != row) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(best, c), a(row, c));
+    }
+    const double inv = 1.0 / a(row, col);
+    for (std::size_t c = 0; c < n; ++c) a(row, c) *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) a(r, c) -= factor * a(row, c);
+    }
+    pivot_column_of_row.push_back(col);
+    ++row;
+  }
+
+  // Free columns parameterize the null space: for each free column f, the
+  // basis vector has w_f = 1 and w_p = -a(row_of_p, f) for pivot columns p.
+  std::vector<bool> is_pivot(n, false);
+  for (const std::size_t p : pivot_column_of_row) is_pivot[p] = true;
+
+  std::vector<std::vector<double>> basis;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (is_pivot[f]) continue;
+    std::vector<double> w(n, 0.0);
+    w[f] = 1.0;
+    for (std::size_t r = 0; r < pivot_column_of_row.size(); ++r) {
+      w[pivot_column_of_row[r]] = -a(r, f);
+    }
+    // Normalize: largest magnitude entry = 1, tiny entries snapped to 0.
+    double max_mag = 0.0;
+    for (const double v : w) max_mag = std::max(max_mag, std::abs(v));
+    for (double& v : w) {
+      v /= max_mag;
+      if (std::abs(v) < tol) v = 0.0;
+    }
+    basis.push_back(std::move(w));
+  }
+  return basis;
+}
+
+double conserved_quantity(const std::vector<double>& law,
+                          std::span<const double> state) {
+  if (law.size() != state.size()) {
+    throw std::invalid_argument("conserved_quantity: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < law.size(); ++i) acc += law[i] * state[i];
+  return acc;
+}
+
+}  // namespace mrsc::analysis

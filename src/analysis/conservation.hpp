@@ -1,0 +1,29 @@
+// Conservation-law analysis.
+//
+// A conservation law of a CRN is a weight vector w >= over species with
+// w^T S = 0 (S the stoichiometric matrix): the weighted sum of
+// concentrations sum_i w_i x_i is invariant along every trajectory,
+// deterministic or stochastic. The paper's constructions are full of them —
+// the clock token, each register triple, every dual-rail bit pair — and the
+// tests use the automatically discovered laws as structural invariants.
+#pragma once
+
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::analysis {
+
+/// Returns a basis of the left null space of the stoichiometric matrix,
+/// i.e. one weight vector (indexed by SpeciesId) per independent
+/// conservation law. Entries smaller than `tol` (after normalization) are
+/// snapped to zero. The basis is not unique; each vector is scaled so its
+/// largest-magnitude entry is 1.
+[[nodiscard]] std::vector<std::vector<double>> conservation_laws(
+    const core::ReactionNetwork& network, double tol = 1e-9);
+
+/// Evaluates w . x for a law and a state.
+[[nodiscard]] double conserved_quantity(const std::vector<double>& law,
+                                        std::span<const double> state);
+
+}  // namespace mrsc::analysis

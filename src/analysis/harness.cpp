@@ -1,0 +1,394 @@
+#include "analysis/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace mrsc::analysis {
+
+namespace {
+
+/// Stops the run once a predicate holds (checked after each accepted step).
+class StopWhen : public sim::Observer {
+ public:
+  explicit StopWhen(std::function<bool()> predicate)
+      : predicate_(std::move(predicate)) {}
+  void on_step(double, std::span<double>) override {}
+  bool should_stop(double, std::span<const double>) override {
+    return predicate_();
+  }
+
+ private:
+  std::function<bool()> predicate_;
+};
+
+/// Decodes a dual-rail counter on every rising edge of a clock phase.
+class CounterProbe : public sim::Observer {
+ public:
+  CounterProbe(const dsp::CounterHandles& handles, double low, double high,
+               std::size_t skip_edges)
+      : handles_(&handles),
+        edge_(handles.clock.phase_r, low, high),
+        skip_edges_(skip_edges) {}
+
+  void on_step(double t, std::span<double> state) override {
+    const std::size_t before = edge_.rising_edges().size();
+    edge_.on_step(t, state);
+    if (edge_.rising_edges().size() == before) return;
+    ++edges_seen_;
+    if (edges_seen_ <= skip_edges_) return;
+    values_.push_back(dsp::decode_counter(*handles_, state));
+    times_.push_back(t);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+
+ private:
+  const dsp::CounterHandles* handles_;
+  sim::EdgeDetector edge_;
+  std::size_t skip_edges_;
+  std::size_t edges_seen_ = 0;
+  std::vector<std::uint64_t> values_;
+  std::vector<double> times_;
+};
+
+/// Drives an FSM: injects one input token per C_G rising edge, decodes state
+/// and reads/clears output tokens per C_R rising edge.
+class FsmProbe : public sim::Observer {
+ public:
+  FsmProbe(const fsm::FsmHandles& handles, std::span<const std::size_t> inputs,
+           double low, double high, std::size_t skip_edges)
+      : handles_(&handles),
+        inputs_(inputs.begin(), inputs.end()),
+        inject_edge_(handles.clock.phase_g, low, high),
+        read_edge_(handles.clock.phase_r, low, high),
+        skip_edges_(skip_edges) {}
+
+  void on_step(double t, std::span<double> state) override {
+    const std::size_t injected_before = inject_edge_.rising_edges().size();
+    inject_edge_.on_step(t, state);
+    if (inject_edge_.rising_edges().size() != injected_before) {
+      ++inject_edges_seen_;
+      if (inject_edges_seen_ > skip_edges_ &&
+          next_input_ < inputs_.size()) {
+        state[handles_->input[inputs_[next_input_]].index()] += 1.0;
+        ++next_input_;
+      }
+    }
+    const std::size_t read_before = read_edge_.rising_edges().size();
+    read_edge_.on_step(t, state);
+    if (read_edge_.rising_edges().size() != read_before) {
+      ++read_edges_seen_;
+      if (read_edges_seen_ <= skip_edges_) return;
+      if (states_.size() >= inputs_.size()) return;
+      states_.push_back(fsm::decode_state(*handles_, state));
+      // Collect the output token (if any) and clear the output species.
+      std::size_t symbol = fsm::kNoOutput;
+      for (std::size_t x = 0; x < handles_->output.size(); ++x) {
+        const std::size_t idx = handles_->output[x].index();
+        if (state[idx] > 0.5) symbol = x;
+        state[idx] = 0.0;
+      }
+      outputs_.push_back(symbol);
+      read_times_.push_back(t);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& states() const {
+    return states_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<double>& read_times() const {
+    return read_times_;
+  }
+
+ private:
+  const fsm::FsmHandles* handles_;
+  std::vector<std::size_t> inputs_;
+  sim::EdgeDetector inject_edge_;
+  sim::EdgeDetector read_edge_;
+  std::size_t skip_edges_;
+  std::size_t inject_edges_seen_ = 0;
+  std::size_t read_edges_seen_ = 0;
+  std::size_t next_input_ = 0;
+  std::vector<std::size_t> states_;
+  std::vector<std::size_t> outputs_;
+  std::vector<double> read_times_;
+};
+
+double mean_edge_spacing(const std::vector<double>& edges) {
+  if (edges.size() < 2) return 0.0;
+  return (edges.back() - edges.front()) /
+         static_cast<double>(edges.size() - 1);
+}
+
+}  // namespace
+
+double suggest_t_end(const sync::ClockSpec& clock_spec,
+                     const core::RatePolicy& policy, std::size_t cycles) {
+  // Empirically the period is ~15 * stretch / k_slow; provision 2.5x.
+  const double period_guess = 15.0 * clock_spec.phase_stretch / policy.k_slow;
+  return 2.5 * period_guess * static_cast<double>(cycles + 3);
+}
+
+ClockedRunResult run_clocked_circuit(const core::ReactionNetwork& network,
+                                     const sync::CompiledCircuit& circuit,
+                                     const std::string& in_port,
+                                     std::span<const double> samples,
+                                     const std::string& out_port,
+                                     const ClockedRunOptions& options) {
+  if (samples.empty()) {
+    throw std::invalid_argument("run_clocked_circuit: no input samples");
+  }
+  const double token = circuit.clock.token;
+  const double low = options.threshold_low * token;
+  const double high = options.threshold_high * token;
+
+  // A cycle: inject x[k] at a C_R rising edge; the red phase runs the
+  // combinational pass (consuming the injected sample and every register's
+  // blue species) and deposits into register red species and output ports;
+  // sample y[k] at the C_G rising edge that ends that red phase. Output k
+  // corresponds to the red phase of injection k, so the sampler skips one
+  // more green edge than the injector skips red edges (the green edge at
+  // t~0 precedes the first detected red edge).
+  sim::EdgeTriggeredSampler sampler(circuit.clock.phase_g, low, high,
+                                    circuit.output(out_port),
+                                    /*clear_after_read=*/true,
+                                    /*skip_edges=*/options.warmup_edges + 1);
+  sim::EdgeTriggeredInjector injector(
+      circuit.clock.phase_r, low, high, circuit.input(in_port),
+      std::vector<double>(samples.begin(), samples.end()),
+      /*skip_edges=*/options.warmup_edges);
+  const std::size_t wanted = samples.size();
+  StopWhen stopper([&] { return sampler.samples().size() >= wanted; });
+
+  // Sampler first: at edge k it reads the result of the sample injected at
+  // edge k-1, before the injector adds this cycle's input.
+  sim::Observer* observers[] = {&sampler, &injector, &stopper};
+
+  ClockedRunResult result;
+  result.ode =
+      sim::simulate_ode(network, options.ode, network.initial_state(),
+                        std::span<sim::Observer* const>(observers, 3));
+  result.outputs = sampler.samples();
+  result.output_times = sampler.sample_times();
+  result.input_times = injector.injection_times();
+  result.clock_period = mean_edge_spacing(result.output_times);
+  if (result.outputs.size() < wanted) {
+    throw std::runtime_error(
+        "run_clocked_circuit: simulation ended after " +
+        std::to_string(result.outputs.size()) + "/" + std::to_string(wanted) +
+        " outputs; increase OdeOptions::t_end");
+  }
+  return result;
+}
+
+ClockedRunResult run_async_circuit(const core::ReactionNetwork& network,
+                                   const async::CompiledAsyncCircuit& circuit,
+                                   const std::string& in_port,
+                                   std::span<const double> samples,
+                                   const std::string& out_port,
+                                   const ClockedRunOptions& options) {
+  if (samples.empty()) {
+    throw std::invalid_argument("run_async_circuit: no input samples");
+  }
+  // The heartbeat token is 1.0 by construction.
+  const double low = options.threshold_low;
+  const double high = options.threshold_high;
+
+  // Sample on heartbeat-green edges (the release/deposit phase just ended;
+  // clearing the red output unblocks the next green-to-blue phase); inject
+  // on heartbeat-blue edges (just before the next release window opens).
+  sim::EdgeTriggeredSampler sampler(circuit.pacing, low, high,
+                                    circuit.output(out_port),
+                                    /*clear_after_read=*/true,
+                                    /*skip_edges=*/options.warmup_edges + 1);
+  sim::EdgeTriggeredInjector injector(
+      circuit.pacing_inject, low, high, circuit.input(in_port),
+      std::vector<double>(samples.begin(), samples.end()),
+      /*skip_edges=*/options.warmup_edges);
+  const std::size_t wanted = samples.size();
+  StopWhen stopper([&] { return sampler.samples().size() >= wanted; });
+  sim::Observer* observers[] = {&sampler, &injector, &stopper};
+
+  ClockedRunResult result;
+  result.ode =
+      sim::simulate_ode(network, options.ode, network.initial_state(),
+                        std::span<sim::Observer* const>(observers, 3));
+  result.outputs = sampler.samples();
+  result.output_times = sampler.sample_times();
+  result.input_times = injector.injection_times();
+  result.clock_period = mean_edge_spacing(result.output_times);
+  if (result.outputs.size() < wanted) {
+    throw std::runtime_error(
+        "run_async_circuit: simulation ended after " +
+        std::to_string(result.outputs.size()) + "/" + std::to_string(wanted) +
+        " outputs; increase OdeOptions::t_end");
+  }
+  return result;
+}
+
+MultiRunResult run_clocked_circuit_multi(
+    const core::ReactionNetwork& network, const sync::CompiledCircuit& circuit,
+    std::span<const PortSamples> inputs,
+    std::span<const std::string> out_ports, const ClockedRunOptions& options) {
+  if (inputs.empty() || out_ports.empty()) {
+    throw std::invalid_argument(
+        "run_clocked_circuit_multi: need inputs and outputs");
+  }
+  const std::size_t cycles = inputs.front().samples.size();
+  for (const PortSamples& in : inputs) {
+    if (in.samples.size() != cycles || cycles == 0) {
+      throw std::invalid_argument(
+          "run_clocked_circuit_multi: input streams must be equal-length "
+          "and non-empty");
+    }
+  }
+  const double token = circuit.clock.token;
+  const double low = options.threshold_low * token;
+  const double high = options.threshold_high * token;
+
+  std::vector<std::unique_ptr<sim::Observer>> owned;
+  std::vector<sim::EdgeTriggeredSampler*> samplers;
+  std::vector<sim::Observer*> observers;
+  // Samplers first (read previous cycle before this cycle's injection).
+  for (const std::string& port : out_ports) {
+    auto sampler = std::make_unique<sim::EdgeTriggeredSampler>(
+        circuit.clock.phase_g, low, high, circuit.output(port),
+        /*clear_after_read=*/true,
+        /*skip_edges=*/options.warmup_edges + 1);
+    samplers.push_back(sampler.get());
+    observers.push_back(sampler.get());
+    owned.push_back(std::move(sampler));
+  }
+  for (const PortSamples& in : inputs) {
+    auto injector = std::make_unique<sim::EdgeTriggeredInjector>(
+        circuit.clock.phase_r, low, high, circuit.input(in.port), in.samples,
+        /*skip_edges=*/options.warmup_edges);
+    observers.push_back(injector.get());
+    owned.push_back(std::move(injector));
+  }
+  StopWhen stopper([&] {
+    return std::ranges::all_of(samplers, [&](const auto* s) {
+      return s->samples().size() >= cycles;
+    });
+  });
+  observers.push_back(&stopper);
+
+  MultiRunResult result;
+  result.ode = sim::simulate_ode(
+      network, options.ode, network.initial_state(),
+      std::span<sim::Observer* const>(observers.data(), observers.size()));
+  for (std::size_t i = 0; i < out_ports.size(); ++i) {
+    if (samplers[i]->samples().size() < cycles) {
+      throw std::runtime_error(
+          "run_clocked_circuit_multi: port '" + out_ports[i] +
+          "' delivered " + std::to_string(samplers[i]->samples().size()) +
+          "/" + std::to_string(cycles) +
+          " outputs; increase OdeOptions::t_end");
+    }
+    result.outputs.emplace(out_ports[i], samplers[i]->samples());
+  }
+  if (!samplers.empty()) {
+    result.clock_period = mean_edge_spacing(samplers[0]->sample_times());
+  }
+  return result;
+}
+
+std::vector<double> signed_series(const MultiRunResult& result,
+                                  const std::string& name) {
+  const auto pos = result.outputs.find(name + "_p");
+  const auto neg = result.outputs.find(name + "_n");
+  if (pos == result.outputs.end() || neg == result.outputs.end()) {
+    throw std::out_of_range("signed_series: missing rails for '" + name +
+                            "'");
+  }
+  std::vector<double> out(pos->second.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = pos->second[i] - neg->second[i];
+  }
+  return out;
+}
+
+CounterRunResult run_counter(const core::ReactionNetwork& network,
+                             const dsp::CounterHandles& handles,
+                             std::size_t increments,
+                             const ClockedRunOptions& options) {
+  if (increments == 0) {
+    throw std::invalid_argument("run_counter: need >= 1 increment");
+  }
+  const double token = handles.clock.token;
+  const double low = options.threshold_low * token;
+  const double high = options.threshold_high * token;
+
+  // Inject increment tokens at the rising edge of the *compute* phase.
+  sim::EdgeTriggeredInjector injector(
+      handles.clock.phase_g, low, high, handles.increment,
+      std::vector<double>(increments, 1.0),
+      /*skip_edges=*/options.warmup_edges);
+  // Decode on C_R rising edges (write-back complete). The k-th injection
+  // happens at the k-th non-warmup C_G edge, which lies *between* the k-th
+  // and (k+1)-th C_R edges counted with the same warmup skip — so skipping
+  // `warmup_edges` red edges aligns read k with increment k.
+  CounterProbe probe(handles, low, high,
+                     /*skip_edges=*/options.warmup_edges);
+  StopWhen stopper([&] { return probe.values().size() >= increments; });
+
+  sim::Observer* observers[] = {&probe, &injector, &stopper};
+
+  CounterRunResult result;
+  result.ode =
+      sim::simulate_ode(network, options.ode, network.initial_state(),
+                        std::span<sim::Observer* const>(observers, 3));
+  result.values = probe.values();
+  result.read_times = probe.times();
+  if (result.values.size() < increments) {
+    throw std::runtime_error(
+        "run_counter: simulation ended after " +
+        std::to_string(result.values.size()) + "/" +
+        std::to_string(increments) + " reads; increase OdeOptions::t_end");
+  }
+  return result;
+}
+
+FsmRunResult run_fsm(const core::ReactionNetwork& network,
+                     const fsm::FsmHandles& handles,
+                     std::span<const std::size_t> inputs,
+                     const ClockedRunOptions& options) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("run_fsm: empty input string");
+  }
+  for (const std::size_t a : inputs) {
+    if (a >= handles.input.size()) {
+      throw std::invalid_argument("run_fsm: input symbol out of range");
+    }
+  }
+  const double token = handles.clock.token;
+  FsmProbe probe(handles, inputs, options.threshold_low * token,
+                 options.threshold_high * token, options.warmup_edges);
+  const std::size_t wanted = inputs.size();
+  StopWhen stopper([&] { return probe.states().size() >= wanted; });
+  sim::Observer* observers[] = {&probe, &stopper};
+
+  FsmRunResult result;
+  result.ode =
+      sim::simulate_ode(network, options.ode, network.initial_state(),
+                        std::span<sim::Observer* const>(observers, 2));
+  result.states = probe.states();
+  result.outputs = probe.outputs();
+  result.read_times = probe.read_times();
+  if (result.states.size() < wanted) {
+    throw std::runtime_error(
+        "run_fsm: simulation ended after " +
+        std::to_string(result.states.size()) + "/" + std::to_string(wanted) +
+        " steps; increase OdeOptions::t_end");
+  }
+  return result;
+}
+
+}  // namespace mrsc::analysis

@@ -1,0 +1,131 @@
+// Experiment harness for clocked molecular circuits.
+//
+// Drives a compiled synchronous design the way the paper drives its examples:
+// one input sample is injected per clock cycle, the output register is read
+// (and cleared) once per cycle, and the run stops as soon as the requested
+// number of outputs has been collected. Edges of the clock's red phase define
+// the cycle boundary: by the time C_R rises, the write-back (blue) phase has
+// completed, so outputs are valid and inputs injected now are ready for the
+// next compute (green) phase.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "async/circuit.hpp"
+#include "dsp/counter.hpp"
+#include "fsm/fsm.hpp"
+#include "sim/ode.hpp"
+#include "sync/circuit.hpp"
+
+namespace mrsc::analysis {
+
+struct ClockedRunOptions {
+  sim::OdeOptions ode;  ///< t_end is treated as an upper bound; the run
+                        ///< stops early once all outputs are sampled.
+  /// Edge-detector hysteresis thresholds, as fractions of the clock token.
+  double threshold_low = 0.2;
+  double threshold_high = 0.6;
+  /// Clock edges to let pass before the first injection. During warmup the
+  /// circuit free-runs on zero input; whatever it deposits into output
+  /// ports (e.g. register initial values) is discarded. Use 0 to observe
+  /// initial values in the first output.
+  std::size_t warmup_edges = 1;
+};
+
+struct ClockedRunResult {
+  std::vector<double> outputs;       ///< one sampled output per input sample
+  std::vector<double> output_times;  ///< when each was sampled
+  std::vector<double> input_times;   ///< when each input was injected
+  sim::OdeResult ode;
+  double clock_period = 0.0;  ///< measured from C_R rising edges
+};
+
+/// Feeds `samples` into input port `in_port` of `circuit` (one per cycle) and
+/// collects the same number of outputs from `out_port`.
+[[nodiscard]] ClockedRunResult run_clocked_circuit(
+    const core::ReactionNetwork& network, const sync::CompiledCircuit& circuit,
+    const std::string& in_port, std::span<const double> samples,
+    const std::string& out_port, const ClockedRunOptions& options);
+
+/// Suggests an ODE t_end generous enough for `cycles` clock cycles of a clock
+/// with the given spec under the given rate policy (the run stops early, so
+/// over-provisioning is cheap).
+[[nodiscard]] double suggest_t_end(const sync::ClockSpec& clock_spec,
+                                   const core::RatePolicy& policy,
+                                   std::size_t cycles);
+
+/// One input port's per-cycle sample stream for multi-port runs.
+struct PortSamples {
+  std::string port;
+  std::vector<double> samples;
+};
+
+struct MultiRunResult {
+  /// Output port name -> one sampled value per cycle.
+  std::map<std::string, std::vector<double>> outputs;
+  sim::OdeResult ode;
+  double clock_period = 0.0;
+};
+
+/// Multi-port variant of `run_clocked_circuit`: drives several input ports
+/// (all streams must have equal length) and samples several output ports.
+/// Dual-rail designs use this to drive/read both rails of signed signals;
+/// see `signed_series`.
+[[nodiscard]] MultiRunResult run_clocked_circuit_multi(
+    const core::ReactionNetwork& network, const sync::CompiledCircuit& circuit,
+    std::span<const PortSamples> inputs,
+    std::span<const std::string> out_ports, const ClockedRunOptions& options);
+
+/// Reconstructs a signed per-cycle series from a dual-rail output pair
+/// (`<name>_p` minus `<name>_n`) in a MultiRunResult.
+[[nodiscard]] std::vector<double> signed_series(const MultiRunResult& result,
+                                                const std::string& name);
+
+struct CounterRunResult {
+  /// Decoded counter value after each increment (read on C_R rising edges).
+  std::vector<std::uint64_t> values;
+  std::vector<double> read_times;
+  sim::OdeResult ode;
+};
+
+/// Drives a dual-rail counter for `increments` cycles: injects one increment
+/// token at each rising edge of the compute phase and decodes the counter at
+/// each subsequent rising edge of the write-back-complete (red) phase.
+[[nodiscard]] CounterRunResult run_counter(
+    const core::ReactionNetwork& network, const dsp::CounterHandles& handles,
+    std::size_t increments, const ClockedRunOptions& options);
+
+/// Drives a compiled *self-timed* circuit: injects one input sample and
+/// samples (and clears!) the output once per handshake cycle, paced on the
+/// heartbeat register's green species. Clearing the output is not optional:
+/// outputs are red-colored, and an unconsumed output suppresses the red
+/// absence indicator, stalling the pipeline — downstream must consume what
+/// the pipeline produces.
+[[nodiscard]] ClockedRunResult run_async_circuit(
+    const core::ReactionNetwork& network,
+    const async::CompiledAsyncCircuit& circuit, const std::string& in_port,
+    std::span<const double> samples, const std::string& out_port,
+    const ClockedRunOptions& options);
+
+struct FsmRunResult {
+  /// Decoded state after each input symbol.
+  std::vector<std::size_t> states;
+  /// Output symbol emitted in each cycle (fsm::kNoOutput when none).
+  std::vector<std::size_t> outputs;
+  std::vector<double> read_times;
+  sim::OdeResult ode;
+};
+
+/// Drives a compiled FSM over an input string: injects the token of input
+/// symbol `inputs[k]` at the k-th rising edge of the compute phase, decodes
+/// the state and collects (then clears) the output tokens at the following
+/// rising edge of the red phase.
+[[nodiscard]] FsmRunResult run_fsm(const core::ReactionNetwork& network,
+                                   const fsm::FsmHandles& handles,
+                                   std::span<const std::size_t> inputs,
+                                   const ClockedRunOptions& options);
+
+}  // namespace mrsc::analysis

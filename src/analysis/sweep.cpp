@@ -1,0 +1,74 @@
+#include "analysis/sweep.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mrsc::analysis {
+
+void apply_rate_jitter(core::ReactionNetwork& network, double factor,
+                       util::Rng& rng) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("apply_rate_jitter: factor must be >= 1");
+  }
+  for (std::size_t j = 0; j < network.reaction_count(); ++j) {
+    const core::ReactionId id{
+        static_cast<core::ReactionId::underlying_type>(j)};
+    core::Reaction& reaction = network.reaction_mutable(id);
+    if (factor == 1.0) {
+      reaction.set_rate_multiplier(1.0);
+    } else {
+      // Compose with any build-time multiplier (e.g. the clock's
+      // phase-stretch) instead of overwriting it.
+      reaction.set_rate_multiplier(reaction.rate_multiplier() *
+                                   rng.log_uniform_jitter(factor));
+    }
+  }
+}
+
+std::vector<SweepPoint> run_rate_sweep(
+    const RateSweepConfig& config,
+    const std::function<double(const core::RatePolicy&, double, std::uint64_t)>&
+        experiment) {
+  std::vector<SweepPoint> points;
+  std::uint64_t seed = config.base_seed;
+  for (const double ratio : config.ratios) {
+    for (const double jitter : config.jitter_factors) {
+      SweepPoint point;
+      point.ratio = ratio;
+      point.jitter_factor = jitter;
+      point.seed = seed++;
+      core::RatePolicy policy;
+      policy.k_slow = config.k_slow;
+      policy.k_fast = ratio * config.k_slow;
+      try {
+        point.error = experiment(policy, jitter, point.seed);
+      } catch (const std::exception&) {
+        point.failed = true;
+      }
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::string format_sweep_table(const std::vector<SweepPoint>& points,
+                               const std::string& error_label) {
+  std::ostringstream out;
+  out << std::left << std::setw(14) << "k_fast/k_slow" << std::setw(10)
+      << "jitter" << std::setw(18) << error_label << "\n";
+  out << std::string(42, '-') << "\n";
+  for (const SweepPoint& point : points) {
+    out << std::left << std::setw(14) << point.ratio << std::setw(10)
+        << point.jitter_factor;
+    if (point.failed) {
+      out << "FAILED";
+    } else {
+      out << std::scientific << std::setprecision(3) << point.error
+          << std::defaultfloat;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mrsc::analysis

@@ -1,0 +1,55 @@
+// Rate-robustness sweep drivers (experiment T1).
+//
+// The paper's central robustness claim: computation is exact and independent
+// of the specific reaction rates, as long as "fast" reactions are fast
+// relative to "slow" ones. These helpers operationalize the claim two ways:
+//   1. sweep the k_fast/k_slow separation ratio over decades, and
+//   2. jitter every individual rate constant by a log-uniform multiplicative
+//      factor (kinetic constants "are not constant at all"),
+// re-running an experiment at each point and reporting its error.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace mrsc::analysis {
+
+struct SweepPoint {
+  double ratio = 0.0;          ///< k_fast / k_slow
+  double jitter_factor = 1.0;  ///< per-reaction rate spread (1 = none)
+  std::uint64_t seed = 0;      ///< jitter seed
+  double error = 0.0;          ///< experiment-defined error metric
+  bool failed = false;         ///< the experiment threw (e.g. did not settle)
+};
+
+/// Applies a log-uniform multiplicative jitter in [1/factor, factor] to every
+/// reaction's rate multiplier. Factor 1 clears the multipliers.
+void apply_rate_jitter(core::ReactionNetwork& network, double factor,
+                       util::Rng& rng);
+
+/// An experiment maps a configured network-under-test to an error metric.
+/// The sweep calls `configure` before each run so the experiment can rebuild
+/// or mutate its network for the given policy/jitter.
+struct RateSweepConfig {
+  std::vector<double> ratios = {10.0, 100.0, 1000.0, 10000.0, 100000.0};
+  std::vector<double> jitter_factors = {1.0};
+  std::uint64_t base_seed = 42;
+  double k_slow = 1.0;  ///< held fixed; k_fast = ratio * k_slow
+};
+
+/// Runs `experiment(policy, jitter_factor, seed)` over the grid; the
+/// experiment returns its error metric (and may throw to mark failure).
+[[nodiscard]] std::vector<SweepPoint> run_rate_sweep(
+    const RateSweepConfig& config,
+    const std::function<double(const core::RatePolicy&, double jitter_factor,
+                               std::uint64_t seed)>& experiment);
+
+/// Renders sweep results as an aligned text table.
+[[nodiscard]] std::string format_sweep_table(
+    const std::vector<SweepPoint>& points, const std::string& error_label);
+
+}  // namespace mrsc::analysis

@@ -1,0 +1,159 @@
+#include "async/chain.hpp"
+
+#include <stdexcept>
+
+#include "core/builder.hpp"
+
+namespace mrsc::async {
+
+namespace {
+
+using core::RateCategory;
+using core::SpeciesId;
+
+std::string numbered(const std::string& prefix, const char* stem,
+                     std::size_t i) {
+  return prefix + "_" + stem + std::to_string(i);
+}
+
+}  // namespace
+
+ChainHandles build_delay_chain(core::ReactionNetwork& network,
+                               const ChainSpec& spec) {
+  if (spec.elements == 0) {
+    throw std::invalid_argument("build_delay_chain: need >= 1 element");
+  }
+  const std::size_t n = spec.elements;
+  core::NetworkBuilder builder(network);
+  builder.set_label_prefix(spec.prefix + ".");
+  const std::string& p = spec.prefix;
+
+  ChainHandles handles;
+
+  // --- species --------------------------------------------------------------
+  // Color categories: red = {R_1..R_{n+1}}, green = {G_1..G_n},
+  // blue = {B_0..B_n}. B_0 is the input X; R_{n+1} is the output Y.
+  handles.input = builder.species(numbered(p, "B", 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    handles.red.push_back(builder.species(numbered(p, "R", i)));
+    handles.green.push_back(builder.species(numbered(p, "G", i)));
+    handles.blue.push_back(builder.species(numbered(p, "B", i)));
+  }
+  handles.output = builder.species(numbered(p, "R", n + 1));
+  handles.ind_r = builder.species(p + "_r");
+  handles.ind_g = builder.species(p + "_g");
+  handles.ind_b = builder.species(p + "_b");
+
+  // Full color category membership (for the indicator-absorption reactions).
+  std::vector<SpeciesId> all_red = handles.red;
+  all_red.push_back(handles.output);
+  const std::vector<SpeciesId>& all_green = handles.green;
+  std::vector<SpeciesId> all_blue;
+  all_blue.push_back(handles.input);
+  for (const SpeciesId id : handles.blue) all_blue.push_back(id);
+
+  // --- reactions (1): absence indicators -------------------------------------
+  // Slow zero-order generation; fast absorption by every member of the color.
+  auto emit_indicator = [&](SpeciesId indicator, const char* name,
+                            const std::vector<SpeciesId>& members) {
+    network.add({}, {{indicator, 1}}, RateCategory::kSlow, 0.0,
+                spec.prefix + ".ind." + name + ".gen");
+    for (const SpeciesId member : members) {
+      network.add({{indicator, 1}, {member, 1}}, {{member, 1}},
+                  RateCategory::kFast, 0.0,
+                  spec.prefix + ".ind." + name + ".absorb." +
+                      network.species_name(member));
+    }
+  };
+  emit_indicator(handles.ind_r, "r", all_red);
+  emit_indicator(handles.ind_g, "g", all_green);
+  emit_indicator(handles.ind_b, "b", all_blue);
+
+  // --- reactions (4): red-to-green phase (enabled by absence of blue) --------
+  //   b + R_i ->slow G_i                       (seed)
+  //   2 G_j <->slow/fast I_G_j                 (feedback dimer)
+  //   I_G_j + R_i ->fast 2 G_j + G_i           (feedback transfer, all i,j)
+  std::vector<SpeciesId> ig(n);
+  if (spec.feedback) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ig[j] = builder.species(numbered(p, "I_G", j + 1));
+      network.add({{handles.green[j], 2}}, {{ig[j], 1}}, RateCategory::kSlow,
+                  0.0, spec.prefix + ".r2g.dimerize");
+      network.add({{ig[j], 1}}, {{handles.green[j], 2}}, RateCategory::kFast,
+                  0.0, spec.prefix + ".r2g.undimerize");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    network.add({{handles.ind_b, 1}, {handles.red[i], 1}},
+                {{handles.green[i], 1}}, RateCategory::kSlow, 0.0,
+                spec.prefix + ".r2g.seed");
+    if (spec.feedback) {
+      for (std::size_t j = 0; j < n; ++j) {
+        network.add({{ig[j], 1}, {handles.red[i], 1}},
+                    {{handles.green[j], 2}, {handles.green[i], 1}},
+                    RateCategory::kFast, 0.0, spec.prefix + ".r2g.feedback");
+      }
+    }
+  }
+
+  // --- reactions (5): green-to-blue phase (enabled by absence of red) --------
+  //   r + G_i ->slow B_i ; feedback over blue dimers j = 0..n.
+  std::vector<SpeciesId> ib(n + 1);
+  if (spec.feedback) {
+    for (std::size_t j = 0; j <= n; ++j) {
+      const SpeciesId blue_j = (j == 0) ? handles.input : handles.blue[j - 1];
+      ib[j] = builder.species(numbered(p, "I_B", j));
+      network.add({{blue_j, 2}}, {{ib[j], 1}}, RateCategory::kSlow, 0.0,
+                  spec.prefix + ".g2b.dimerize");
+      network.add({{ib[j], 1}}, {{blue_j, 2}}, RateCategory::kFast, 0.0,
+                  spec.prefix + ".g2b.undimerize");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    network.add({{handles.ind_r, 1}, {handles.green[i], 1}},
+                {{handles.blue[i], 1}}, RateCategory::kSlow, 0.0,
+                spec.prefix + ".g2b.seed");
+    if (spec.feedback) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        const SpeciesId blue_j =
+            (j == 0) ? handles.input : handles.blue[j - 1];
+        network.add({{ib[j], 1}, {handles.green[i], 1}},
+                    {{blue_j, 2}, {handles.blue[i], 1}}, RateCategory::kFast,
+                    0.0, spec.prefix + ".g2b.feedback");
+      }
+    }
+  }
+
+  // --- reactions (6): blue-to-red phase (enabled by absence of green) --------
+  //   g + B_i ->slow R_{i+1} for i = 0..n ; feedback over red dimers
+  //   j = 1..n+1.
+  std::vector<SpeciesId> ir(n + 1);
+  if (spec.feedback) {
+    for (std::size_t j = 0; j <= n; ++j) {
+      const SpeciesId red_j = (j == n) ? handles.output : handles.red[j];
+      ir[j] = builder.species(numbered(p, "I_R", j + 1));
+      network.add({{red_j, 2}}, {{ir[j], 1}}, RateCategory::kSlow, 0.0,
+                  spec.prefix + ".b2r.dimerize");
+      network.add({{ir[j], 1}}, {{red_j, 2}}, RateCategory::kFast, 0.0,
+                  spec.prefix + ".b2r.undimerize");
+    }
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    const SpeciesId blue_i = (i == 0) ? handles.input : handles.blue[i - 1];
+    const SpeciesId red_next = (i == n) ? handles.output : handles.red[i];
+    network.add({{handles.ind_g, 1}, {blue_i, 1}}, {{red_next, 1}},
+                RateCategory::kSlow, 0.0, spec.prefix + ".b2r.seed");
+    if (spec.feedback) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        const SpeciesId red_j = (j == n) ? handles.output : handles.red[j];
+        network.add({{ir[j], 1}, {blue_i, 1}},
+                    {{red_j, 2}, {red_next, 1}}, RateCategory::kFast, 0.0,
+                    spec.prefix + ".b2r.feedback");
+      }
+    }
+  }
+
+  return handles;
+}
+
+}  // namespace mrsc::async

@@ -1,0 +1,65 @@
+// Self-timed (asynchronous) delay-element chains.
+//
+// This module implements, reaction for reaction, the scheme of the companion
+// paper "Asynchronous Sequential Computation with Molecular Reactions"
+// (Jiang/Riedel/Parhi, IWBDA 2011), which shares its machinery with the
+// synchronous DAC 2011 paper reproduced by this library:
+//
+//  * Every signal type is color-coded red, green, or blue. A chain of n delay
+//    elements uses types B_0 (the input X), R_i/G_i/B_i for element i, and
+//    R_{n+1} (the output Y).
+//  * Absence indicators (reactions (1)): r, g, b are generated constantly at
+//    a slow rate and consumed quickly by any species of the matching color,
+//    so each accumulates only while its whole color category is absent.
+//  * Transfers are gated by the absence of the third color (reactions
+//    (4)-(6)): red-to-green consumes b, green-to-blue consumes r,
+//    blue-to-red consumes g.
+//  * Positive feedback (reactions (2)-(3)): pairs of destination-color
+//    molecules form an intermediate I that rapidly converts remaining source
+//    molecules, making each transfer a crisp sigmoid. The I terms are
+//    cross-coupled over all elements (any element's progress accelerates
+//    every element's transfer in the same phase).
+//
+// Because the three indicators are global, the phases of all delay elements
+// are ordered together — the multi-phase handshake that replaces a clock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::async {
+
+struct ChainSpec {
+  /// Number of delay elements (n >= 1).
+  std::size_t elements = 2;
+  /// Emit the positive-feedback reactions (2)-(3). Disabling them leaves the
+  /// slow indicator-consuming seed transfers only; the ablation bench uses
+  /// this to show why the feedback matters.
+  bool feedback = true;
+  /// Species-name prefix, so several chains can share one network.
+  std::string prefix = "dc";
+};
+
+/// Ids of everything a simulation or test needs to drive and observe a chain.
+struct ChainHandles {
+  core::SpeciesId input;   ///< B_0 — inject X here
+  core::SpeciesId output;  ///< R_{n+1} — Y appears here
+  std::vector<core::SpeciesId> red;    ///< R_1..R_n
+  std::vector<core::SpeciesId> green;  ///< G_1..G_n
+  std::vector<core::SpeciesId> blue;   ///< B_1..B_n
+  core::SpeciesId ind_r;  ///< red-absence indicator r
+  core::SpeciesId ind_g;  ///< green-absence indicator g
+  core::SpeciesId ind_b;  ///< blue-absence indicator b
+};
+
+/// Emits a chain of `spec.elements` delay elements into `network` and returns
+/// the handles. The input value should be placed in (or injected into)
+/// `handles.input`; after roughly 3*(n+1) phases it arrives in
+/// `handles.output`.
+ChainHandles build_delay_chain(core::ReactionNetwork& network,
+                               const ChainSpec& spec);
+
+}  // namespace mrsc::async

@@ -1,0 +1,298 @@
+#include "async/circuit.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::async {
+
+namespace {
+using core::RateCategory;
+using core::SpeciesId;
+using core::Term;
+}  // namespace
+
+core::SpeciesId CompiledAsyncCircuit::input(const std::string& name) const {
+  const auto it = inputs.find(name);
+  if (it == inputs.end()) {
+    throw std::out_of_range("CompiledAsyncCircuit: no input '" + name + "'");
+  }
+  return it->second;
+}
+
+core::SpeciesId CompiledAsyncCircuit::output(const std::string& name) const {
+  const auto it = outputs.find(name);
+  if (it == outputs.end()) {
+    throw std::out_of_range("CompiledAsyncCircuit: no output '" + name +
+                            "'");
+  }
+  return it->second;
+}
+
+core::SpeciesId CompiledAsyncCircuit::red_of(const std::string& reg) const {
+  const auto it = register_red.find(reg);
+  if (it == register_red.end()) {
+    throw std::out_of_range("CompiledAsyncCircuit: no register '" + reg +
+                            "'");
+  }
+  return it->second;
+}
+
+CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
+    core::ReactionNetwork& network, const std::string& prefix) const {
+  // --- static checks (same discipline as the synchronous compiler) ---------
+  for (std::uint32_t s = 0; s < sig_count_; ++s) {
+    if (!sig_consumed_[s]) {
+      throw std::logic_error(
+          "AsyncCircuitBuilder::compile_async: signal #" + std::to_string(s) +
+          " is never consumed; use discard() if intentional");
+    }
+  }
+  for (const RegisterDecl& reg : registers_) {
+    if (!reg.read_done || !reg.write_done) {
+      throw std::logic_error(
+          "AsyncCircuitBuilder::compile_async: register '" + reg.name +
+          "' must be read and written exactly once");
+    }
+  }
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kMin) {
+      throw std::logic_error(
+          "AsyncCircuitBuilder::compile_async: min() leaves residues in its "
+          "operand wires, which would block the completion detection; it is "
+          "not supported in self-timed circuits");
+    }
+  }
+  if (!register_annihilations_.empty() || !output_annihilations_.empty()) {
+    throw std::logic_error(
+        "AsyncCircuitBuilder::compile_async: dual-rail normalization is not "
+        "supported in self-timed circuits yet");
+  }
+
+  CompiledAsyncCircuit compiled;
+
+  // --- species ----------------------------------------------------------------
+  std::vector<SpeciesId> wires(sig_count_);
+  for (std::uint32_t s = 0; s < sig_count_; ++s) {
+    wires[s] = network.add_species(prefix + "_w" + std::to_string(s));
+  }
+  std::vector<SpeciesId> reg_r(registers_.size());
+  std::vector<SpeciesId> reg_g(registers_.size());
+  std::vector<SpeciesId> reg_b(registers_.size());
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    const std::string& name = registers_[i].name;
+    reg_r[i] =
+        network.add_species(prefix + "_R_" + name, registers_[i].initial);
+    reg_g[i] = network.add_species(prefix + "_G_" + name);
+    reg_b[i] = network.add_species(prefix + "_B_" + name);
+    compiled.register_red.emplace(name, reg_r[i]);
+  }
+  // Heartbeat register: a constant 1.0 circulating its own triple, so the
+  // harness has a data-independent pacing signal.
+  const SpeciesId hb_r = network.add_species(prefix + "_R_hb", 1.0);
+  const SpeciesId hb_g = network.add_species(prefix + "_G_hb");
+  const SpeciesId hb_b = network.add_species(prefix + "_B_hb");
+  compiled.register_red.emplace("hb", hb_r);
+  compiled.pacing = hb_g;
+  compiled.pacing_inject = hb_b;
+
+  // Ports.
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kInput) {
+      compiled.inputs.emplace(
+          op.name, network.add_species(prefix + "_in_" + op.name));
+    }
+  }
+  for (const Sink& sink : sinks_) {
+    if (sink.kind == SinkKind::kOutput) {
+      compiled.outputs.emplace(
+          sink.name, network.add_species(prefix + "_out_" + sink.name));
+    }
+  }
+
+  // --- color categories ---------------------------------------------------
+  // red: register Rs (incl. heartbeat) and output ports; green: register Gs;
+  // blue: register Bs, input ports, and every wire (completion detection).
+  std::vector<SpeciesId> red_members;
+  std::vector<SpeciesId> green_members;
+  std::vector<SpeciesId> blue_members;
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    red_members.push_back(reg_r[i]);
+    green_members.push_back(reg_g[i]);
+    blue_members.push_back(reg_b[i]);
+  }
+  red_members.push_back(hb_r);
+  green_members.push_back(hb_g);
+  blue_members.push_back(hb_b);
+  for (const auto& [name, id] : compiled.outputs) red_members.push_back(id);
+  for (const auto& [name, id] : compiled.inputs) blue_members.push_back(id);
+  for (const SpeciesId wire : wires) blue_members.push_back(wire);
+
+  compiled.ind_r = network.add_species(prefix + "_r");
+  compiled.ind_g = network.add_species(prefix + "_g");
+  compiled.ind_b = network.add_species(prefix + "_b");
+  // Each indicator's generation is slowed relative to the completion speed
+  // of the phase it waits for, so a gate never accumulates appreciably while
+  // its predecessor phase is still finishing. The blue-to-red phase is the
+  // slow one (its releases are seed-only — combinational logic breaks the
+  // 1:1 feedback trick), so its gate ind_g runs at half rate and the gate
+  // that waits *for* it (ind_b, enabling red-to-green) is slowed the most.
+  auto emit_indicator = [&](SpeciesId indicator,
+                            const std::vector<SpeciesId>& members,
+                            const char* name, double gen_multiplier) {
+    const core::ReactionId gen =
+        network.add({}, {{indicator, 1}}, RateCategory::kSlow, 0.0,
+                    prefix + ".ind." + name + ".gen");
+    network.reaction_mutable(gen).set_rate_multiplier(gen_multiplier);
+    for (const SpeciesId member : members) {
+      network.add({{indicator, 1}, {member, 1}}, {{member, 1}},
+                  RateCategory::kFast, 0.0,
+                  prefix + ".ind." + name + ".absorb");
+    }
+  };
+  emit_indicator(compiled.ind_r, red_members, "r", 0.5);
+  emit_indicator(compiled.ind_g, green_members, "g", 0.5);
+  emit_indicator(compiled.ind_b, blue_members, "b", 0.125);
+
+  // --- register-internal phases (feedback-sharpened, per register) ---------
+  auto emit_sharpened = [&](SpeciesId from, SpeciesId to, SpeciesId gate,
+                            const std::string& tag) {
+    network.add({{gate, 1}, {from, 1}}, {{to, 1}}, RateCategory::kSlow, 0.0,
+                tag + ".seed");
+    const SpeciesId dimer = network.add_species(tag + "_I");
+    network.add({{to, 2}}, {{dimer, 1}}, RateCategory::kSlow, 0.0,
+                tag + ".dimerize");
+    network.add({{dimer, 1}}, {{to, 2}}, RateCategory::kFast, 0.0,
+                tag + ".undimerize");
+    network.add({{dimer, 1}, {from, 1}}, {{to, 3}}, RateCategory::kFast, 0.0,
+                tag + ".feedback");
+  };
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    const std::string& name = registers_[i].name;
+    // red-to-green gated on absence of blue; green-to-blue on absence of red.
+    emit_sharpened(reg_r[i], reg_g[i], compiled.ind_b,
+                   prefix + "_" + name + "_r2g");
+    emit_sharpened(reg_g[i], reg_b[i], compiled.ind_r,
+                   prefix + "_" + name + "_g2b");
+  }
+  emit_sharpened(hb_r, hb_g, compiled.ind_b, prefix + "_hb_r2g");
+  emit_sharpened(hb_g, hb_b, compiled.ind_r, prefix + "_hb_g2b");
+  // The heartbeat's blue-to-red hop has no ops on its path, so it CAN be
+  // feedback-sharpened — and must be: a lingering hb_B residue would leak
+  // the next red-to-green phase early and smear the whole oscillation.
+  emit_sharpened(hb_b, hb_r, compiled.ind_g, prefix + "_hb_b2r");
+
+  // --- the combinational pass (blue-to-red phase) ---------------------------
+  // Releases (indicator-consuming seeds) feed the wires; fast ops flow; fast
+  // terminal transfers deposit into register reds / outputs.
+  std::size_t scale_counter = 0;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      // Releases are catalyzed by the heartbeat's red species. hb_R is high
+      // exactly during the release window: its own (feedback-sharpened)
+      // blue-to-red hop raises it when the greens empty, and it drains only
+      // in the next red-to-green phase — which the global indicator ind_b
+      // forbids while any blue species (sources, in-flight wires) remains.
+      // So the release pulse automatically *stretches* until the data is
+      // through: completion detection drives the catalyst. (Consuming the
+      // indicator per unit transferred, as the plain chain's seeds do,
+      // starves here: the heartbeat's next phase competes for the same
+      // indicator molecules and the transfer tail stalls.)
+      case OpKind::kInput: {
+        network.add({{hb_r, 1}, {compiled.inputs.at(op.name), 1}},
+                    {{hb_r, 1}, {wires[op.results[0]], 1}},
+                    RateCategory::kSlow, 0.0,
+                    prefix + ".release.in." + op.name);
+        break;
+      }
+      case OpKind::kRead: {
+        network.add({{hb_r, 1}, {reg_b[op.reg], 1}},
+                    {{hb_r, 1}, {wires[op.results[0]], 1}},
+                    RateCategory::kSlow, 0.0,
+                    prefix + ".release.reg." + registers_[op.reg].name);
+        break;
+      }
+      case OpKind::kAdd: {
+        network.add({{wires[op.operands[0]], 1}},
+                    {{wires[op.results[0]], 1}}, RateCategory::kFast, 0.0,
+                    prefix + ".op.add");
+        network.add({{wires[op.operands[1]], 1}},
+                    {{wires[op.results[0]], 1}}, RateCategory::kFast, 0.0,
+                    prefix + ".op.add");
+        break;
+      }
+      case OpKind::kFanout: {
+        std::vector<Term> products;
+        for (const std::uint32_t r : op.results) {
+          products.push_back(Term{wires[r], 1});
+        }
+        network.add({{wires[op.operands[0]], 1}}, std::move(products),
+                    RateCategory::kFast, 0.0, prefix + ".op.fanout");
+        break;
+      }
+      case OpKind::kScale: {
+        // Integer scale then halving chain, all fast, via fresh blue wires.
+        SpeciesId current = wires[op.operands[0]];
+        if (op.scale_halvings == 0) {
+          network.add({{current, 1}},
+                      {{wires[op.results[0]], op.scale_numerator}},
+                      RateCategory::kFast, 0.0, prefix + ".op.scale");
+          break;
+        }
+        if (op.scale_numerator != 1) {
+          const SpeciesId scaled = network.add_species(
+              prefix + "_sc" + std::to_string(scale_counter) + "_0");
+          blue_members.push_back(scaled);
+          network.add({{compiled.ind_b, 1}, {scaled, 1}}, {{scaled, 1}},
+                      RateCategory::kFast, 0.0, prefix + ".ind.b.absorb");
+          network.add({{current, 1}}, {{scaled, op.scale_numerator}},
+                      RateCategory::kFast, 0.0, prefix + ".op.scale");
+          current = scaled;
+        }
+        for (std::uint32_t stage = 1; stage <= op.scale_halvings; ++stage) {
+          SpeciesId next;
+          if (stage == op.scale_halvings) {
+            next = wires[op.results[0]];
+          } else {
+            next = network.add_species(prefix + "_sc" +
+                                       std::to_string(scale_counter) + "_" +
+                                       std::to_string(stage));
+            network.add({{compiled.ind_b, 1}, {next, 1}}, {{next, 1}},
+                        RateCategory::kFast, 0.0, prefix + ".ind.b.absorb");
+          }
+          network.add({{current, 2}}, {{next, 1}}, RateCategory::kFast, 0.0,
+                      prefix + ".op.halve");
+          current = next;
+        }
+        ++scale_counter;
+        break;
+      }
+      case OpKind::kMin:
+        break;  // rejected above
+    }
+  }
+  for (const Sink& sink : sinks_) {
+    switch (sink.kind) {
+      case SinkKind::kRegister: {
+        network.add({{wires[sink.signal], 1}}, {{reg_r[sink.reg], 1}},
+                    RateCategory::kFast, 0.0,
+                    prefix + ".sink.reg." + registers_[sink.reg].name);
+        break;
+      }
+      case SinkKind::kOutput: {
+        network.add({{wires[sink.signal], 1}},
+                    {{compiled.outputs.at(sink.name), 1}},
+                    RateCategory::kFast, 0.0,
+                    prefix + ".sink.out." + sink.name);
+        break;
+      }
+      case SinkKind::kDiscard: {
+        network.add({{wires[sink.signal], 1}}, {}, RateCategory::kFast, 0.0,
+                    prefix + ".discard");
+        break;
+      }
+    }
+  }
+
+  return compiled;
+}
+
+}  // namespace mrsc::async

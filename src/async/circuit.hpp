@@ -1,0 +1,89 @@
+// Self-timed (clockless) pipelines with computation.
+//
+// The companion paper's full scope is not just value transfer: "we can use
+// delay elements together with computational constructs to implement general
+// circuit functions". This compiler is the asynchronous counterpart of
+// `sync::CircuitBuilder`: the same dataflow IR (registers, input/output
+// ports, combinational ops), but synchronized by the *global absence
+// indicators* r/g/b instead of a clock.
+//
+// Lowering:
+//  * Every register i is a color triple (R_i, G_i, B_i), exactly like the
+//    chain's delay elements, with the full feedback-sharpened red-to-green
+//    and green-to-blue transfers gated by the shared indicators b and r.
+//  * The combinational pass happens on the blue-to-red phase: each register
+//    B_i (and each input port, a blue-colored species) is released into its
+//    wire by a reaction catalyzed by the built-in heartbeat's red species
+//    (`hb_R + B_i -> hb_R + wire`); fast un-gated ops propagate values
+//    through the dataflow graph; each path terminates in the R_j of the
+//    register (or the output species, red-colored) it feeds. The heartbeat
+//    — a constant token circulating its own triple, with all three hops
+//    feedback-sharpened — turns the indicator handshake into a crisp
+//    release pulse, and because its own advance is gated by the same
+//    indicators, the pulse stretches while data is still in flight.
+//  * COMPLETION DETECTION: every wire is registered as a member of the blue
+//    color category (it absorbs the indicator b). The next phase
+//    (red-to-green) is gated on the absence of *all* blue species —
+//    including in-flight wires — so computation must finish before the
+//    pipeline advances. This is the molecular form of asynchronous-logic
+//    completion detection, and it is what a clock can never give you: the
+//    handshake waits exactly as long as the data needs.
+//  * The blue-to-red releases cannot use the plain chain's dimer feedback
+//    (it assumes a 1:1 source/destination mapping, which combinational
+//    logic breaks); heartbeat catalysis replaces it.
+//
+// I/O: inputs are injected into blue input-port species and outputs sampled
+// from red output species once per handshake cycle; the harness paces itself
+// on the rising edge of a register's R species (every register's R fills
+// exactly once per cycle).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sync/circuit.hpp"
+
+namespace mrsc::async {
+
+/// Compiled self-timed circuit handles.
+struct CompiledAsyncCircuit {
+  /// Input port name -> blue species to inject samples into.
+  std::map<std::string, core::SpeciesId> inputs;
+  /// Output port name -> red species to sample and clear.
+  std::map<std::string, core::SpeciesId> outputs;
+  /// Register name -> its red species (fills once per handshake cycle; the
+  /// harness uses the first register's R as the pacing signal).
+  std::map<std::string, core::SpeciesId> register_red;
+  /// The global absence indicators.
+  core::SpeciesId ind_r;
+  core::SpeciesId ind_g;
+  core::SpeciesId ind_b;
+  /// The heartbeat register's green species: rises to ~1 exactly once per
+  /// handshake cycle regardless of data values. The harness samples (and
+  /// clears) outputs on its rising edges — the deposit phase has just ended
+  /// and the cleared red output lets the next green-to-blue phase proceed.
+  core::SpeciesId pacing;
+  /// The heartbeat's blue species: rises once per cycle just before the
+  /// release window opens. The harness injects inputs on its rising edges.
+  core::SpeciesId pacing_inject;
+
+  [[nodiscard]] core::SpeciesId input(const std::string& name) const;
+  [[nodiscard]] core::SpeciesId output(const std::string& name) const;
+  [[nodiscard]] core::SpeciesId red_of(const std::string& reg) const;
+};
+
+/// Builds self-timed circuits. Reuses the dataflow IR of
+/// `sync::CircuitBuilder` (single-use signals, explicit fanout); only
+/// `compile_async` differs.
+class AsyncCircuitBuilder : public sync::CircuitBuilder {
+ public:
+  /// Lowers the circuit into `network` using the handshake discipline
+  /// described above. The circuit must contain at least one register (the
+  /// pipeline paces on it).
+  CompiledAsyncCircuit compile_async(core::ReactionNetwork& network,
+                                     const std::string& prefix = "actk") const;
+};
+
+}  // namespace mrsc::async

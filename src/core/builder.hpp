@@ -1,0 +1,71 @@
+// Text DSL for reactions, and a builder that resolves species by name.
+//
+//   NetworkBuilder b(network);
+//   b.reaction("X + 2 Y -> Z", RateCategory::kFast);
+//   b.reaction("0 -> r", RateCategory::kSlow);          // zero-order source
+//   b.reaction("A -> 0", 2.5);                          // custom-rate sink
+//
+// The builder creates species on first mention, which keeps network
+// construction code close to the notation used in the paper.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::core {
+
+/// A reaction side parsed from text, before name resolution.
+struct ParsedTerm {
+  std::string name;
+  std::uint32_t stoich = 1;
+};
+
+/// The two sides of `lhs -> rhs`, still as names.
+struct ParsedReaction {
+  std::vector<ParsedTerm> reactants;
+  std::vector<ParsedTerm> products;
+};
+
+/// Parses `"A + 2 B -> C"` (also accepts `2B` without a space, and `0` or an
+/// empty side for no terms). Throws `std::invalid_argument` on syntax errors.
+[[nodiscard]] ParsedReaction parse_reaction(std::string_view text);
+
+/// Adds reactions to a network using the text DSL. Species named in reactions
+/// are created on demand with initial concentration 0.
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(ReactionNetwork& network) : network_(&network) {}
+
+  /// All reactions added through this builder get `prefix + label`.
+  void set_label_prefix(std::string prefix) {
+    label_prefix_ = std::move(prefix);
+  }
+
+  /// Adds a categorized reaction.
+  ReactionId reaction(std::string_view text, RateCategory category,
+                      std::string label = {});
+
+  /// Adds a custom-rate reaction.
+  ReactionId reaction(std::string_view text, double rate,
+                      std::string label = {});
+
+  /// Creates (or finds) a species and sets its initial concentration.
+  SpeciesId species(std::string_view name, double initial);
+
+  /// Creates (or finds) a species without touching its initial concentration.
+  SpeciesId species(std::string_view name);
+
+  [[nodiscard]] ReactionNetwork& network() { return *network_; }
+
+ private:
+  ReactionId add_parsed(const ParsedReaction& parsed, RateCategory category,
+                        double rate, std::string label);
+
+  ReactionNetwork* network_;
+  std::string label_prefix_;
+};
+
+}  // namespace mrsc::core

@@ -1,0 +1,38 @@
+// Plain-text serialization of reaction networks.
+//
+// Format (one item per line, '#' starts a comment):
+//
+//   @rates slow=1 fast=1000
+//   @species X 1.0
+//   @species G1 0
+//   slow : b + R1 -> G1 | clock.seed
+//   fast : 2 G1 -> I_G1
+//   2.5  : A -> 0
+//
+// Species lines are emitted for *every* species in id order so that parsing a
+// serialized network reproduces identical SpeciesId assignments (round-trip
+// stability), which the tests rely on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/network.hpp"
+
+namespace mrsc::core {
+
+/// Renders `network` in the text format above.
+[[nodiscard]] std::string serialize_network(const ReactionNetwork& network);
+
+/// Parses the text format; throws `std::invalid_argument` with a line number
+/// on malformed input.
+[[nodiscard]] ReactionNetwork parse_network(std::string_view text);
+
+/// Writes `serialize_network(network)` to a file; throws on I/O failure.
+void save_network(const ReactionNetwork& network, const std::string& path);
+
+/// Reads and parses a network file; throws on I/O or parse failure.
+[[nodiscard]] ReactionNetwork load_network(const std::string& path);
+
+}  // namespace mrsc::core

@@ -1,0 +1,46 @@
+#include "core/reaction.hpp"
+
+#include <algorithm>
+
+namespace mrsc::core {
+
+const char* to_string(RateCategory category) {
+  switch (category) {
+    case RateCategory::kCustom:
+      return "custom";
+    case RateCategory::kSlow:
+      return "slow";
+    case RateCategory::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+std::uint32_t Reaction::order() const {
+  std::uint32_t total = 0;
+  for (const Term& t : reactants_) total += t.stoich;
+  return total;
+}
+
+int Reaction::net_change(SpeciesId species) const {
+  int change = 0;
+  for (const Term& t : products_) {
+    if (t.species == species) change += static_cast<int>(t.stoich);
+  }
+  for (const Term& t : reactants_) {
+    if (t.species == species) change -= static_cast<int>(t.stoich);
+  }
+  return change;
+}
+
+bool Reaction::consumes(SpeciesId species) const {
+  return std::ranges::any_of(
+      reactants_, [&](const Term& t) { return t.species == species; });
+}
+
+bool Reaction::produces(SpeciesId species) const {
+  return std::ranges::any_of(
+      products_, [&](const Term& t) { return t.species == species; });
+}
+
+}  // namespace mrsc::core

@@ -1,0 +1,122 @@
+// Species and reaction value types for chemical reaction networks (CRNs).
+//
+// A CRN is the "machine code" of this library: every higher-level construct
+// (clocks, delay elements, filters, counters) compiles down to a flat list of
+// mass-action reactions over named species.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace mrsc::core {
+
+// Re-export the id types into this namespace so users of the core layer can
+// spell them core::SpeciesId / core::ReactionId.
+using mrsc::ReactionId;
+using mrsc::SpeciesId;
+
+/// One species (molecular type). Concentration/count state is *not* stored
+/// here; `initial` only records the default initial condition.
+struct Species {
+  std::string name;
+  /// Default initial concentration (ODE) or scaled count basis (SSA).
+  double initial = 0.0;
+};
+
+/// Coarse rate categories, the central robustness device of the paper: the
+/// computation must be correct for *any* numeric rates as long as every
+/// `kFast` reaction is much faster than every `kSlow` reaction.
+enum class RateCategory : std::uint8_t {
+  kCustom,  ///< uses the reaction's own numeric rate constant
+  kSlow,    ///< resolved against RatePolicy::k_slow at simulation time
+  kFast,    ///< resolved against RatePolicy::k_fast at simulation time
+};
+
+/// Returns a human-readable name ("custom"/"slow"/"fast").
+[[nodiscard]] const char* to_string(RateCategory category);
+
+/// Numeric values the coarse categories resolve to. Held by the network so a
+/// robustness sweep can re-resolve every categorized rate without rebuilding.
+struct RatePolicy {
+  double k_slow = 1.0;
+  double k_fast = 1000.0;
+
+  [[nodiscard]] double value_of(RateCategory category,
+                                double custom_rate) const {
+    switch (category) {
+      case RateCategory::kSlow:
+        return k_slow;
+      case RateCategory::kFast:
+        return k_fast;
+      case RateCategory::kCustom:
+      default:
+        return custom_rate;
+    }
+  }
+};
+
+/// A (species, stoichiometric coefficient) pair on one side of a reaction.
+struct Term {
+  SpeciesId species;
+  std::uint32_t stoich = 1;
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// One irreversible mass-action reaction. Reversible reactions are expressed
+/// as two `Reaction`s. Zero reactants model a constant source (zero-order
+/// kinetics); zero products model a sink.
+class Reaction {
+ public:
+  Reaction() = default;
+  Reaction(std::vector<Term> reactants, std::vector<Term> products,
+           RateCategory category, double custom_rate = 0.0,
+           std::string label = {})
+      : reactants_(std::move(reactants)),
+        products_(std::move(products)),
+        category_(category),
+        custom_rate_(custom_rate),
+        label_(std::move(label)) {}
+
+  [[nodiscard]] const std::vector<Term>& reactants() const {
+    return reactants_;
+  }
+  [[nodiscard]] const std::vector<Term>& products() const { return products_; }
+  [[nodiscard]] RateCategory category() const { return category_; }
+
+  /// Numeric rate for `kCustom` reactions; ignored for categorized ones.
+  [[nodiscard]] double custom_rate() const { return custom_rate_; }
+
+  /// Per-reaction multiplicative perturbation (default 1). Robustness sweeps
+  /// jitter this to model "kinetic constants are not constant at all".
+  [[nodiscard]] double rate_multiplier() const { return rate_multiplier_; }
+  void set_rate_multiplier(double m) { rate_multiplier_ = m; }
+
+  /// Optional diagnostic label ("clock.r2g.seed", "dff3.writeback", ...).
+  [[nodiscard]] const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Sum of reactant stoichiometries (the kinetic order of the reaction).
+  [[nodiscard]] std::uint32_t order() const;
+
+  /// Net stoichiometry change of `species` when the reaction fires once.
+  [[nodiscard]] int net_change(SpeciesId species) const;
+
+  /// True if `species` appears among the reactants.
+  [[nodiscard]] bool consumes(SpeciesId species) const;
+  /// True if `species` appears among the products.
+  [[nodiscard]] bool produces(SpeciesId species) const;
+
+ private:
+  std::vector<Term> reactants_;
+  std::vector<Term> products_;
+  RateCategory category_ = RateCategory::kCustom;
+  double custom_rate_ = 0.0;
+  double rate_multiplier_ = 1.0;
+  std::string label_;
+};
+
+}  // namespace mrsc::core

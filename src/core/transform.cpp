@@ -1,0 +1,86 @@
+#include "core/transform.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::core {
+
+std::vector<SpeciesId> merge_network(ReactionNetwork& target,
+                                     const ReactionNetwork& source,
+                                     const std::string& prefix) {
+  std::vector<SpeciesId> map;
+  map.reserve(source.species_count());
+  for (std::size_t i = 0; i < source.species_count(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    map.push_back(target.add_species(prefix + source.species_name(id),
+                                     source.initial(id)));
+  }
+  auto remap = [&](const std::vector<Term>& terms) {
+    std::vector<Term> out;
+    out.reserve(terms.size());
+    for (const Term& t : terms) {
+      out.push_back(Term{map[t.species.index()], t.stoich});
+    }
+    return out;
+  };
+  for (const Reaction& r : source.reactions()) {
+    const ReactionId id = target.add(remap(r.reactants()),
+                                     remap(r.products()), r.category(),
+                                     r.custom_rate(), r.label());
+    target.reaction_mutable(id).set_rate_multiplier(r.rate_multiplier());
+  }
+  return map;
+}
+
+std::vector<SpeciesId> untouched_species(const ReactionNetwork& network) {
+  std::vector<bool> touched(network.species_count(), false);
+  for (const Reaction& r : network.reactions()) {
+    for (const Term& t : r.reactants()) touched[t.species.index()] = true;
+    for (const Term& t : r.products()) touched[t.species.index()] = true;
+  }
+  std::vector<SpeciesId> out;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (!touched[i]) {
+      out.push_back(SpeciesId{static_cast<SpeciesId::underlying_type>(i)});
+    }
+  }
+  return out;
+}
+
+std::vector<SpeciesId> unreachable_species(const ReactionNetwork& network) {
+  // Fixed point: a species is reachable if its initial concentration is
+  // nonzero or some reaction whose reactants are all reachable produces it.
+  std::vector<bool> reachable(network.species_count(), false);
+  for (std::size_t i = 0; i < network.species_count(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    if (network.initial(id) != 0.0) reachable[i] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Reaction& r : network.reactions()) {
+      bool fireable = true;
+      for (const Term& t : r.reactants()) {
+        if (!reachable[t.species.index()]) {
+          fireable = false;
+          break;
+        }
+      }
+      if (!fireable) continue;
+      for (const Term& t : r.products()) {
+        if (!reachable[t.species.index()]) {
+          reachable[t.species.index()] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<SpeciesId> out;
+  for (std::size_t i = 0; i < reachable.size(); ++i) {
+    if (!reachable[i]) {
+      out.push_back(SpeciesId{static_cast<SpeciesId::underlying_type>(i)});
+    }
+  }
+  return out;
+}
+
+}  // namespace mrsc::core

@@ -1,0 +1,37 @@
+// Whole-network transformations.
+//
+// Utilities for composing and auditing reaction networks: merging a network
+// into another under a species-name prefix (so independently built designs
+// can share one solution — the molecular analogue of design reuse), and
+// detecting species no reaction ever touches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::core {
+
+/// Appends a copy of `source` into `target`. Every species of `source` is
+/// created in `target` as `prefix + name` (throws if that collides with an
+/// existing species); initial conditions, reaction categories, custom
+/// rates, per-reaction multipliers, and labels are preserved. The target's
+/// rate policy is left untouched. Returns, for each source species index,
+/// the corresponding id in `target`.
+std::vector<SpeciesId> merge_network(ReactionNetwork& target,
+                                     const ReactionNetwork& source,
+                                     const std::string& prefix);
+
+/// Species that appear in no reaction at all (neither side). Such species
+/// are frozen at their initial concentration; usually a design bug.
+[[nodiscard]] std::vector<SpeciesId> untouched_species(
+    const ReactionNetwork& network);
+
+/// Species that can never hold a nonzero concentration: initial 0 and not
+/// produced by any reaction. Reactions consuming only such species are
+/// dead.
+[[nodiscard]] std::vector<SpeciesId> unreachable_species(
+    const ReactionNetwork& network);
+
+}  // namespace mrsc::core

@@ -1,0 +1,111 @@
+#include "dna/dsd.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::dna {
+
+namespace {
+using core::RateCategory;
+using core::SpeciesId;
+using core::Term;
+}  // namespace
+
+DsdCompilation compile_to_dsd(const core::ReactionNetwork& formal,
+                              const DsdOptions& options) {
+  if (options.fuel_initial <= 0.0 || options.q_max <= 0.0) {
+    throw std::invalid_argument(
+        "compile_to_dsd: fuel_initial and q_max must be positive");
+  }
+  DsdCompilation out;
+  out.original_stats = core::compute_stats(formal);
+
+  // Signal species carry over with their names and initial conditions.
+  out.signal_map.reserve(formal.species_count());
+  for (std::size_t i = 0; i < formal.species_count(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    out.signal_map.push_back(
+        out.network.add_species(formal.species_name(id), formal.initial(id)));
+  }
+
+  const double c0 = options.fuel_initial;
+  auto map_terms = [&](const std::vector<Term>& terms) {
+    std::vector<Term> mapped;
+    mapped.reserve(terms.size());
+    for (const Term& t : terms) {
+      mapped.push_back(Term{out.signal_map[t.species.index()], t.stoich});
+    }
+    return mapped;
+  };
+
+  for (std::size_t j = 0; j < formal.reaction_count(); ++j) {
+    const core::ReactionId rid{
+        static_cast<core::ReactionId::underlying_type>(j)};
+    const core::Reaction& r = formal.reaction(rid);
+    const double k = formal.effective_rate(r);
+    const std::string gate = "g" + std::to_string(j);
+    const std::string tag = "dsd." + gate;
+
+    // Expand stoichiometric coefficients into a flat reactant list.
+    std::vector<SpeciesId> reactants;
+    for (const Term& t : r.reactants()) {
+      for (std::uint32_t s = 0; s < t.stoich; ++s) {
+        reactants.push_back(out.signal_map[t.species.index()]);
+      }
+    }
+    if (reactants.size() > 2) {
+      throw std::invalid_argument(
+          "compile_to_dsd: reaction '" + formal.reaction_to_string(rid) +
+          "' has order >= 3; decompose it into bimolecular steps first");
+    }
+
+    std::vector<Term> products = map_terms(r.products());
+    const SpeciesId translator =
+        out.network.add_species(gate + "_T", c0);
+    out.fuels.push_back(translator);
+    const SpeciesId output_strand = out.network.add_species(gate + "_O");
+    std::vector<Term> final_products = products;
+    if (options.track_waste) {
+      const SpeciesId waste = out.network.add_species(gate + "_W");
+      final_products.push_back(Term{waste, 1});
+    }
+    // Final translation step: O + T -> products (+ waste).
+    out.network.add({{output_strand, 1}, {translator, 1}},
+                    std::move(final_products), RateCategory::kCustom,
+                    options.q_max, tag + ".translate");
+
+    if (reactants.empty()) {
+      // 0 -> products : G ->(k/C0) O.
+      const SpeciesId source_gate = out.network.add_species(gate + "_G", c0);
+      out.fuels.push_back(source_gate);
+      out.network.add({{source_gate, 1}}, {{output_strand, 1}},
+                      RateCategory::kCustom, k / c0, tag + ".source");
+    } else if (reactants.size() == 1) {
+      // X -> products : X + G ->(k/C0) O.
+      const SpeciesId gate_fuel = out.network.add_species(gate + "_G", c0);
+      out.fuels.push_back(gate_fuel);
+      out.network.add({{reactants[0], 1}, {gate_fuel, 1}},
+                      {{output_strand, 1}}, RateCategory::kCustom, k / c0,
+                      tag + ".displace");
+    } else {
+      // X + Y -> products :
+      //   X + L <->(k, qmax) H + B ;  H + Y ->(qmax) O.
+      const SpeciesId link = out.network.add_species(gate + "_L", c0);
+      const SpeciesId half = out.network.add_species(gate + "_H");
+      const SpeciesId buffer = out.network.add_species(gate + "_B", c0);
+      out.fuels.push_back(link);
+      out.network.add({{reactants[0], 1}, {link, 1}},
+                      {{half, 1}, {buffer, 1}}, RateCategory::kCustom, k,
+                      tag + ".bind");
+      out.network.add({{half, 1}, {buffer, 1}},
+                      {{reactants[0], 1}, {link, 1}}, RateCategory::kCustom,
+                      options.q_max, tag + ".unbind");
+      out.network.add({{half, 1}, {reactants[1], 1}}, {{output_strand, 1}},
+                      RateCategory::kCustom, options.q_max, tag + ".react");
+    }
+  }
+
+  out.compiled_stats = core::compute_stats(out.network);
+  return out;
+}
+
+}  // namespace mrsc::dna

@@ -1,0 +1,65 @@
+// CRN -> DNA strand displacement (DSD) compilation.
+//
+// The paper proposes DNA strand displacement as the experimental chassis for
+// its constructions ("We are exploring DNA-based computation via strand
+// displacement as a possible experimental chassis"). This module implements
+// the standard Soloveichik/Seelig/Winfree (PNAS 2010) translation at the
+// reaction-abstraction level: every formal reaction of order <= 2 becomes a
+// small cascade of strand-displacement steps driven by *fuel* complexes held
+// at a large initial concentration C0.
+//
+//   0  ->k P...   :   G + .      ->(k/C0)  O        ; O + T ->(qmax) P...
+//   X  ->k P...   :   X + G      ->(k/C0)  O        ; O + T ->(qmax) P...
+//   X+Y ->k P...  :   X + L     <->(k,qmax) H + B   ; H + Y ->(qmax) O ;
+//                     O + T      ->(qmax)  P...
+//
+// G/L/T are fuels (initial C0); B is the buffering strand (pre-loaded at C0
+// so the first step is in quasi-equilibrium from t=0); O/H are intermediates;
+// a waste species per gate absorbs the spent strands. While fuels remain near
+// C0 the compiled network's kinetics match the formal network's; as fuels
+// deplete, fidelity degrades — exactly the deviation the T3 experiment
+// measures as a function of C0.
+//
+// Reactions of order >= 3 (e.g. the iterative multiplier's `Q + 2 xg` guard)
+// are rejected: they must be decomposed into bimolecular steps first, as in
+// the wet-lab practice this models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::dna {
+
+struct DsdOptions {
+  /// Initial fuel concentration C0. Should exceed the total signal quantity
+  /// by a comfortable factor; fidelity improves with C0.
+  double fuel_initial = 100.0;
+  /// Rate constant of the "fast" displacement steps; should exceed every
+  /// effective formal rate by a large factor.
+  double q_max = 1.0e6;
+  /// Track waste species explicitly (adds one species per gate).
+  bool track_waste = true;
+};
+
+struct DsdCompilation {
+  /// The compiled network. Formal (signal) species keep their names, so
+  /// `network.find_species(name)` maps between the two networks.
+  core::ReactionNetwork network;
+  /// For original species index i, the corresponding id in `network`.
+  std::vector<core::SpeciesId> signal_map;
+  /// All fuel species (for depletion monitoring).
+  std::vector<core::SpeciesId> fuels;
+  /// Size bookkeeping for the blow-up table.
+  core::NetworkStats original_stats;
+  core::NetworkStats compiled_stats;
+};
+
+/// Compiles `formal` (using its current rate policy to resolve effective
+/// rates). Throws `std::invalid_argument` if a reaction has order >= 3 or if
+/// options are out of range.
+[[nodiscard]] DsdCompilation compile_to_dsd(const core::ReactionNetwork& formal,
+                                            const DsdOptions& options = {});
+
+}  // namespace mrsc::dna

@@ -1,0 +1,99 @@
+#include "dsp/counter.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::dsp {
+
+namespace {
+using core::RateCategory;
+using core::SpeciesId;
+using core::Term;
+}  // namespace
+
+CounterHandles build_counter(core::ReactionNetwork& network,
+                             const CounterSpec& spec) {
+  if (spec.bits == 0 || spec.bits > 62) {
+    throw std::invalid_argument("build_counter: bits must be in [1, 62]");
+  }
+  if (spec.initial_value >= (std::uint64_t{1} << spec.bits)) {
+    throw std::invalid_argument("build_counter: initial value out of range");
+  }
+  const std::string& p = spec.prefix;
+  sync::ClockSpec clock_spec = spec.clock;
+  if (clock_spec.prefix == "clk") clock_spec.prefix = p + "_clk";
+
+  CounterHandles handles;
+  handles.clock = sync::build_clock(network, clock_spec);
+
+  // Tokens: c_0 is the increment input; c_i / n_i thread through the stages.
+  std::vector<SpeciesId> carry(spec.bits + 1);
+  std::vector<SpeciesId> no_carry(spec.bits + 1);
+  for (std::size_t i = 0; i <= spec.bits; ++i) {
+    carry[i] = network.add_species(p + "_c" + std::to_string(i));
+    if (i > 0) {
+      no_carry[i] = network.add_species(p + "_n" + std::to_string(i));
+    }
+  }
+  handles.increment = carry[0];
+
+  for (std::size_t i = 0; i < spec.bits; ++i) {
+    const bool bit_set = (spec.initial_value >> i) & 1;
+    const SpeciesId zero = network.add_species(
+        p + "_Z" + std::to_string(i), bit_set ? 0.0 : 1.0);
+    const SpeciesId one = network.add_species(
+        p + "_O" + std::to_string(i), bit_set ? 1.0 : 0.0);
+    const SpeciesId zero_primed =
+        network.add_species(p + "_Zp" + std::to_string(i));
+    const SpeciesId one_primed =
+        network.add_species(p + "_Op" + std::to_string(i));
+    handles.zero_rail.push_back(zero);
+    handles.one_rail.push_back(one);
+
+    const std::string stage = p + ".bit" + std::to_string(i);
+    // Toggle with carry out.
+    network.add({{carry[i], 1}, {one, 1}},
+                {{zero_primed, 1}, {carry[i + 1], 1}}, RateCategory::kFast,
+                0.0, stage + ".toggle10");
+    // Toggle without carry out.
+    network.add({{carry[i], 1}, {zero, 1}},
+                {{one_primed, 1}, {no_carry[i + 1], 1}}, RateCategory::kFast,
+                0.0, stage + ".toggle01");
+    // Hold (no incoming carry).
+    if (i > 0) {
+      network.add({{no_carry[i], 1}, {one, 1}},
+                  {{one_primed, 1}, {no_carry[i + 1], 1}},
+                  RateCategory::kFast, 0.0, stage + ".hold1");
+      network.add({{no_carry[i], 1}, {zero, 1}},
+                  {{zero_primed, 1}, {no_carry[i + 1], 1}},
+                  RateCategory::kFast, 0.0, stage + ".hold0");
+    }
+    // Write-back (blue phase): primed masters -> slaves.
+    network.add({{handles.clock.phase_b, 1}, {zero_primed, 1}},
+                {{handles.clock.phase_b, 1}, {zero, 1}}, RateCategory::kSlow,
+                0.0, stage + ".writeback0");
+    network.add({{handles.clock.phase_b, 1}, {one_primed, 1}},
+                {{handles.clock.phase_b, 1}, {one, 1}}, RateCategory::kSlow,
+                0.0, stage + ".writeback1");
+  }
+  // Drain the token after the last stage (dropping the carry wraps the
+  // counter modulo 2^bits).
+  network.add({{carry[spec.bits], 1}}, {}, RateCategory::kFast, 0.0,
+              p + ".drain.carry");
+  network.add({{no_carry[spec.bits], 1}}, {}, RateCategory::kFast, 0.0,
+              p + ".drain.nocarry");
+
+  return handles;
+}
+
+std::uint64_t decode_counter(const CounterHandles& handles,
+                             std::span<const double> state) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < handles.one_rail.size(); ++i) {
+    const double one = state[handles.one_rail[i].index()];
+    const double zero = state[handles.zero_rail[i].index()];
+    if (one > zero) value |= (std::uint64_t{1} << i);
+  }
+  return value;
+}
+
+}  // namespace mrsc::dsp

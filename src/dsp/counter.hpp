@@ -1,0 +1,57 @@
+// Dual-rail ripple-carry binary counter.
+//
+// A sequential design that exercises *logic* (not just linear signal flow) on
+// the synchronous machinery. Each bit i is a complementary dual-rail pair
+// (Z_i, O_i) with conserved total 1: Z_i = 1 encodes bit value 0, O_i = 1
+// encodes bit value 1. Once per clock cycle the harness injects an increment
+// token c_0; each stage consumes exactly one incoming token (carry c_i or
+// no-carry n_i) and emits exactly one outgoing token, so the ripple is
+// race-free without any absence detection:
+//
+//   c_i + O_i -> Z'_i + c_{i+1}     (bit was 1: toggles to 0, carry out)
+//   c_i + Z_i -> O'_i + n_{i+1}     (bit was 0: toggles to 1, no carry)
+//   n_i + O_i -> O'_i + n_{i+1}     (no carry: bit unchanged)
+//   n_i + Z_i -> Z'_i + n_{i+1}
+//   c_N -> 0 ; n_N -> 0             (token drained after the last stage;
+//                                    dropping c_N makes the counter wrap)
+//
+// All stage reactions are fast and un-gated: tokens exist only during the
+// compute phase, so the stages are naturally confined to it. The primed
+// masters are written back to the slaves during the blue phase, exactly like
+// the compiler-generated registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sync/clock.hpp"
+
+namespace mrsc::dsp {
+
+struct CounterSpec {
+  std::size_t bits = 3;
+  std::uint64_t initial_value = 0;
+  sync::ClockSpec clock;
+  std::string prefix = "ctr";
+};
+
+struct CounterHandles {
+  sync::ClockHandles clock;
+  /// Inject 1.0 of this once per cycle (on the rising edge of C_G) to count.
+  core::SpeciesId increment;
+  std::vector<core::SpeciesId> zero_rail;  ///< slaves Z_i
+  std::vector<core::SpeciesId> one_rail;   ///< slaves O_i
+};
+
+/// Emits the counter (clock included) into `network`.
+CounterHandles build_counter(core::ReactionNetwork& network,
+                             const CounterSpec& spec);
+
+/// Reads the counter value from a state vector by thresholding each bit's
+/// rails at 0.5 (O_i > Z_i decides when both are mid-transfer).
+[[nodiscard]] std::uint64_t decode_counter(const CounterHandles& handles,
+                                           std::span<const double> state);
+
+}  // namespace mrsc::dsp

@@ -1,0 +1,258 @@
+#include "dsp/filters.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sync/dual_rail.hpp"
+
+namespace mrsc::dsp {
+
+Design make_delay_line(std::size_t stages, const sync::ClockSpec& clock) {
+  if (stages == 0) {
+    throw std::invalid_argument("make_delay_line: need >= 1 stage");
+  }
+  sync::CircuitBuilder builder;
+  sync::Sig value = builder.input("x");
+  for (std::size_t i = 0; i < stages; ++i) {
+    const sync::Reg reg =
+        builder.add_register("d" + std::to_string(i), 0.0);
+    const sync::Sig out = builder.read(reg);
+    builder.write(reg, value);
+    value = out;
+  }
+  builder.output("y", value);
+
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+  design.circuit = builder.compile(*design.network, clock, "dly");
+  return design;
+}
+
+Design make_moving_average(const sync::ClockSpec& clock) {
+  sync::CircuitBuilder builder;
+  const sync::Sig x = builder.input("x");
+  const auto copies = builder.fanout(x, 2);
+  const sync::Reg delay = builder.add_register("d", 0.0);
+  const sync::Sig x_prev = builder.read(delay);
+  builder.write(delay, copies[1]);
+  const sync::Sig sum = builder.add(copies[0], x_prev);
+  const sync::Sig y = builder.scale(sum, 1, 1);  // * 1/2
+  builder.output("y", y);
+
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+  design.circuit = builder.compile(*design.network, clock, "ma");
+  return design;
+}
+
+Design make_second_order_iir(const sync::ClockSpec& clock) {
+  sync::CircuitBuilder builder;
+  const sync::Sig x = builder.input("x");
+  const sync::Reg reg1 = builder.add_register("y1", 0.0);  // y[n-1]
+  const sync::Reg reg2 = builder.add_register("y2", 0.0);  // y[n-2]
+
+  const sync::Sig y1 = builder.read(reg1);
+  const auto y1_copies = builder.fanout(y1, 2);
+  builder.write(reg2, y1_copies[1]);  // y[n-2] <- y[n-1]
+
+  const sync::Sig y2 = builder.read(reg2);
+  const sync::Sig f1 = builder.scale(y1_copies[0], 1, 1);  // y1 / 2
+  const sync::Sig f2 = builder.scale(y2, 1, 2);            // y2 / 4
+  const sync::Sig sum = builder.add(builder.add(x, f1), f2);
+
+  const auto y_copies = builder.fanout(sum, 2);
+  builder.write(reg1, y_copies[1]);  // y[n-1] <- y[n]
+  builder.output("y", y_copies[0]);
+
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+  design.circuit = builder.compile(*design.network, clock, "iir");
+  return design;
+}
+
+Design make_first_difference(const sync::ClockSpec& clock) {
+  sync::CircuitBuilder base;
+  sync::DualRailBuilder builder(base);
+  const sync::DSig x = builder.input("x");
+  const auto copies = builder.fanout(x, 2);
+  const sync::DReg delay = builder.add_register("d", 0.0);
+  const sync::DSig x_prev = builder.read(delay);
+  builder.write(delay, copies[1]);
+  builder.output("y", builder.subtract(copies[0], x_prev));
+
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+  design.circuit = base.compile(*design.network, clock, "fd");
+  return design;
+}
+
+namespace {
+
+/// Shared FIR structure over any "builder" with fanout/read/write/scale/add.
+/// The tapped delay line: d0 holds x[n-1], d1 holds x[n-2], ...
+template <typename Builder, typename SigT>
+SigT build_fir_datapath(Builder& builder, SigT x,
+                        std::span<const DyadicTap> taps,
+                        const std::function<SigT(SigT, const DyadicTap&)>&
+                            apply_tap) {
+  const std::size_t order = taps.size();
+  // Fan the input out: one copy to tap 0, one into the delay chain.
+  SigT tap_input = x;
+  SigT acc{};
+  bool have_acc = false;
+  for (std::size_t k = 0; k < order; ++k) {
+    SigT to_tap = tap_input;
+    if (k + 1 < order) {
+      auto copies = builder.fanout(tap_input, 2);
+      to_tap = copies[0];
+      // The second copy feeds the next delay register.
+      const auto reg =
+          builder.add_register("d" + std::to_string(k), 0.0);
+      const SigT delayed = builder.read(reg);
+      builder.write(reg, copies[1]);
+      tap_input = delayed;
+    }
+    const SigT term = apply_tap(to_tap, taps[k]);
+    if (have_acc) {
+      acc = builder.add(acc, term);
+    } else {
+      acc = term;
+      have_acc = true;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+double tap_value(const DyadicTap& tap) {
+  const double magnitude =
+      static_cast<double>(tap.numerator) /
+      static_cast<double>(std::uint64_t{1} << tap.halvings);
+  return tap.negative ? -magnitude : magnitude;
+}
+
+Design make_fir(std::span<const DyadicTap> taps,
+                const sync::ClockSpec& clock) {
+  if (taps.empty()) {
+    throw std::invalid_argument("make_fir: need at least one tap");
+  }
+  const bool any_negative =
+      std::any_of(taps.begin(), taps.end(),
+                  [](const DyadicTap& t) { return t.negative; });
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+
+  if (!any_negative) {
+    sync::CircuitBuilder builder;
+    const sync::Sig x = builder.input("x");
+    const sync::Sig y = build_fir_datapath<sync::CircuitBuilder, sync::Sig>(
+        builder, x, taps, [&](sync::Sig value, const DyadicTap& tap) {
+          return builder.scale(value, tap.numerator, tap.halvings);
+        });
+    builder.output("y", y);
+    design.circuit = builder.compile(*design.network, clock, "fir");
+    return design;
+  }
+
+  sync::CircuitBuilder base;
+  sync::DualRailBuilder builder(base);
+  const sync::DSig x = builder.input("x");
+  const sync::DSig y =
+      build_fir_datapath<sync::DualRailBuilder, sync::DSig>(
+          builder, x, taps, [&](sync::DSig value, const DyadicTap& tap) {
+            sync::DSig scaled =
+                builder.scale(value, tap.numerator, tap.halvings);
+            return tap.negative ? builder.negate(scaled) : scaled;
+          });
+  builder.output("y", y);
+  design.circuit = base.compile(*design.network, clock, "fir");
+  return design;
+}
+
+Design make_signed_biquad(const sync::ClockSpec& clock) {
+  sync::CircuitBuilder base;
+  sync::DualRailBuilder builder(base);
+  const sync::DSig x = builder.input("x");
+  const sync::DReg reg1 = builder.add_register("y1", 0.0);
+  const sync::DReg reg2 = builder.add_register("y2", 0.0);
+
+  const sync::DSig y1 = builder.read(reg1);
+  const auto y1_copies = builder.fanout(y1, 2);
+  builder.write(reg2, y1_copies[1]);
+  const sync::DSig y2 = builder.read(reg2);
+
+  // y = x - y1/2 - y2/4.
+  const sync::DSig f1 = builder.negate(builder.scale(y1_copies[0], 1, 1));
+  const sync::DSig f2 = builder.negate(builder.scale(y2, 1, 2));
+  const sync::DSig sum = builder.add(builder.add(x, f1), f2);
+  const auto y_copies = builder.fanout(sum, 2);
+  builder.write(reg1, y_copies[1]);
+  builder.output("y", y_copies[0]);
+
+  Design design;
+  design.network = std::make_unique<core::ReactionNetwork>();
+  design.circuit = base.compile(*design.network, clock, "sbq");
+  return design;
+}
+
+std::vector<double> reference_fir(std::span<const DyadicTap> taps,
+                                  std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    for (std::size_t k = 0; k < taps.size() && k <= n; ++k) {
+      y[n] += tap_value(taps[k]) * x[n - k];
+    }
+  }
+  return y;
+}
+
+std::vector<double> reference_signed_biquad(std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double y1 = (n >= 1) ? y[n - 1] : 0.0;
+    const double y2 = (n >= 2) ? y[n - 2] : 0.0;
+    y[n] = x[n] - 0.5 * y1 - 0.25 * y2;
+  }
+  return y;
+}
+
+std::vector<double> reference_delay_line(std::span<const double> x,
+                                         std::size_t stages) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    if (n >= stages) y[n] = x[n - stages];
+  }
+  return y;
+}
+
+std::vector<double> reference_moving_average(std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double prev = (n == 0) ? 0.0 : x[n - 1];
+    y[n] = 0.5 * (x[n] + prev);
+  }
+  return y;
+}
+
+std::vector<double> reference_first_difference(std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    y[n] = x[n] - (n == 0 ? 0.0 : x[n - 1]);
+  }
+  return y;
+}
+
+std::vector<double> reference_second_order_iir(std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double y1 = (n >= 1) ? y[n - 1] : 0.0;
+    const double y2 = (n >= 2) ? y[n - 2] : 0.0;
+    y[n] = x[n] + 0.5 * y1 + 0.25 * y2;
+  }
+  return y;
+}
+
+}  // namespace mrsc::dsp

@@ -1,0 +1,112 @@
+// General finite state machines with molecular reactions.
+//
+// The paper closes with "we can use delay elements together with
+// computational constructs to implement general circuit functions"; this
+// module is that generalization: any Mealy machine compiles to a clocked
+// reaction network.
+//
+// Encoding:
+//  * The state is one-hot: species Q_0..Q_{S-1} with a conserved total of
+//    one token; Q_s = 1 means the machine is in state s.
+//  * One input symbol per clock cycle, injected as a token of I_a on the
+//    rising edge of the compute (green) phase.
+//  * Each transition (s, a) -> (s', x) is ONE reaction:
+//        I_a + Q_s ->fast Q'_{s'} (+ O_x)
+//    It consumes the input token and the current state and produces the
+//    primed next-state master plus an optional output token. Because every
+//    cycle has exactly one input token and exactly one state token, exactly
+//    one transition fires — no arbitration, no hazards.
+//  * Write-back (blue phase): C_B + Q'_s -> C_B + Q_s. The transitions
+//    themselves are fast and un-gated; their tokens exist only during the
+//    compute phase, which confines them to it (same discipline as the
+//    dual-rail counter).
+//
+// Output tokens accumulate in O_x and are sampled (and cleared) once per
+// cycle by the harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sync/clock.hpp"
+
+namespace mrsc::fsm {
+
+/// "No output on this transition."
+inline constexpr std::size_t kNoOutput = static_cast<std::size_t>(-1);
+
+struct FsmSpec {
+  std::size_t num_states = 0;
+  std::size_t num_inputs = 0;   ///< input alphabet size
+  std::size_t num_outputs = 0;  ///< output alphabet size (may be 0)
+  std::size_t initial_state = 0;
+  /// next_state[s][a] in [0, num_states).
+  std::vector<std::vector<std::size_t>> next_state;
+  /// output[s][a] in [0, num_outputs) or kNoOutput. May be empty if
+  /// num_outputs == 0.
+  std::vector<std::vector<std::size_t>> output;
+  sync::ClockSpec clock;
+  std::string prefix = "fsm";
+
+  /// Throws std::invalid_argument if the tables are malformed.
+  void validate() const;
+};
+
+struct FsmHandles {
+  sync::ClockHandles clock;
+  std::vector<core::SpeciesId> state;         ///< slaves Q_s (one-hot)
+  std::vector<core::SpeciesId> state_primed;  ///< masters Q'_s
+  std::vector<core::SpeciesId> input;   ///< inject I_a on C_G rising
+  std::vector<core::SpeciesId> output;  ///< sample O_x on C_R rising
+};
+
+/// Emits the machine (clock included) into `network`.
+FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec);
+
+/// Reads the current state from a state vector (argmax over the one-hot
+/// slave rails).
+[[nodiscard]] std::size_t decode_state(const FsmHandles& handles,
+                                       std::span<const double> state);
+
+/// Reference (exact) execution of the machine on an input string.
+struct FsmTrace {
+  std::vector<std::size_t> states;   ///< state after each step
+  std::vector<std::size_t> outputs;  ///< output symbol per step (kNoOutput
+                                     ///< when the transition emits none)
+};
+[[nodiscard]] FsmTrace evaluate_reference(
+    const FsmSpec& spec, std::span<const std::size_t> inputs);
+
+// --- minimization ------------------------------------------------------------
+
+struct MinimizationResult {
+  FsmSpec spec;  ///< the minimized machine (clock/prefix copied over)
+  /// For each original state, the minimized state it maps to, or
+  /// `kUnreachable` if it was dropped.
+  std::vector<std::size_t> state_map;
+  static constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+};
+
+/// Minimizes a Mealy machine: removes states unreachable from the initial
+/// state, then merges behaviourally equivalent states (Moore partition
+/// refinement on output signatures). The result accepts exactly the same
+/// input/output behaviour — fewer states means fewer species and reactions
+/// when compiled.
+[[nodiscard]] MinimizationResult minimize(const FsmSpec& spec);
+
+// --- canned machines ---------------------------------------------------------
+
+/// A binary sequence detector (KMP prefix automaton) over alphabet {0, 1}
+/// that emits output symbol 0 whenever `pattern` (e.g. "101") completes,
+/// counting overlapping occurrences.
+[[nodiscard]] FsmSpec make_sequence_detector(std::string_view pattern);
+
+/// Two-state parity machine over alphabet {0, 1}: emits output 0 ("even") or
+/// 1 ("odd") every cycle, reporting the parity of the ones seen so far.
+[[nodiscard]] FsmSpec make_parity_machine();
+
+}  // namespace mrsc::fsm

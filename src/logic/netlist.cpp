@@ -1,0 +1,235 @@
+#include "logic/netlist.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::logic {
+
+bool evaluate_gate(GateKind kind, std::span<const std::uint8_t> inputs) {
+  switch (kind) {
+    case GateKind::kNot:
+      if (inputs.size() != 1) {
+        throw std::invalid_argument("evaluate_gate: NOT takes one input");
+      }
+      return inputs[0] == 0;
+    case GateKind::kBuf:
+      if (inputs.size() != 1) {
+        throw std::invalid_argument("evaluate_gate: BUF takes one input");
+      }
+      return inputs[0] != 0;
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      bool all = true;
+      for (const std::uint8_t v : inputs) all = all && (v != 0);
+      return kind == GateKind::kAnd ? all : !all;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      bool any = false;
+      for (const std::uint8_t v : inputs) any = any || (v != 0);
+      return kind == GateKind::kOr ? any : !any;
+    }
+    case GateKind::kXor: {
+      bool acc = false;
+      for (const std::uint8_t v : inputs) acc = acc != (v != 0);
+      return acc;
+    }
+  }
+  throw std::logic_error("evaluate_gate: unknown gate kind");
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  const NetId id{static_cast<NetId::underlying_type>(kinds_.size())};
+  kinds_.push_back(NetKind::kInput);
+  gate_kinds_.push_back(GateKind::kBuf);
+  gate_inputs_.emplace_back();
+  ff_initial_.push_back(false);
+  ff_data_.push_back(NetId::invalid());
+  names_.push_back(name);
+  if (!name.empty()) name_index_.emplace(name, id);
+  return id;
+}
+
+NetId Netlist::add_gate(GateKind kind, std::vector<NetId> inputs,
+                        const std::string& name) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("add_gate: gate needs inputs");
+  }
+  for (const NetId in : inputs) {
+    if (!in.valid() || in.index() >= kinds_.size()) {
+      throw std::invalid_argument("add_gate: unknown input net");
+    }
+  }
+  const NetId id{static_cast<NetId::underlying_type>(kinds_.size())};
+  kinds_.push_back(NetKind::kGate);
+  gate_kinds_.push_back(kind);
+  gate_inputs_.push_back(std::move(inputs));
+  ff_initial_.push_back(false);
+  ff_data_.push_back(NetId::invalid());
+  names_.push_back(name);
+  if (!name.empty()) name_index_.emplace(name, id);
+  return id;
+}
+
+NetId Netlist::add_flip_flop(bool initial, const std::string& name) {
+  const NetId id{static_cast<NetId::underlying_type>(kinds_.size())};
+  kinds_.push_back(NetKind::kFlipFlop);
+  gate_kinds_.push_back(GateKind::kBuf);
+  gate_inputs_.emplace_back();
+  ff_initial_.push_back(initial);
+  ff_data_.push_back(NetId::invalid());
+  names_.push_back(name);
+  if (!name.empty()) name_index_.emplace(name, id);
+  return id;
+}
+
+void Netlist::connect_flip_flop(NetId q, NetId d) {
+  if (!q.valid() || q.index() >= kinds_.size() ||
+      kinds_[q.index()] != NetKind::kFlipFlop) {
+    throw std::invalid_argument("connect_flip_flop: q is not a flip-flop");
+  }
+  if (!d.valid() || d.index() >= kinds_.size()) {
+    throw std::invalid_argument("connect_flip_flop: unknown data net");
+  }
+  ff_data_[q.index()] = d;
+}
+
+void Netlist::mark_output(NetId net, const std::string& name) {
+  if (!net.valid() || net.index() >= kinds_.size()) {
+    throw std::invalid_argument("mark_output: unknown net");
+  }
+  outputs_.emplace_back(name, net);
+}
+
+std::optional<NetId> Netlist::find(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == NetKind::kFlipFlop && !ff_data_[i].valid()) {
+      throw std::logic_error("Netlist: flip-flop '" + names_[i] +
+                             "' has no data input");
+    }
+  }
+  // Acyclicity of the combinational part is established by the topological
+  // sort in Simulation's constructor, which throws on a cycle.
+}
+
+Simulation::Simulation(const Netlist& netlist) : netlist_(&netlist) {
+  netlist.validate();
+  const std::size_t n = netlist.kinds_.size();
+  values_.assign(n, 0);
+  ff_state_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (netlist.kinds_[i] == Netlist::NetKind::kFlipFlop) {
+      ff_state_[i] = netlist.ff_initial_[i];
+      values_[i] = netlist.ff_initial_[i];
+    }
+  }
+  // Topological sort of the gates (inputs and flip-flop outputs are sources).
+  std::vector<std::uint8_t> mark(n, 0);  // 0=unvisited, 1=visiting, 2=done
+  std::vector<NetId> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (netlist.kinds_[i] != Netlist::NetKind::kGate || mark[i] != 0) continue;
+    stack.push_back(NetId{static_cast<NetId::underlying_type>(i)});
+    while (!stack.empty()) {
+      const NetId node = stack.back();
+      if (mark[node.index()] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (mark[node.index()] == 1) {
+        mark[node.index()] = 2;
+        topo_order_.push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      mark[node.index()] = 1;
+      for (const NetId in : netlist.gate_inputs_[node.index()]) {
+        if (netlist.kinds_[in.index()] != Netlist::NetKind::kGate) continue;
+        if (mark[in.index()] == 1) {
+          throw std::logic_error(
+              "Simulation: combinational cycle through net '" +
+              netlist.names_[in.index()] + "'");
+        }
+        if (mark[in.index()] == 0) stack.push_back(in);
+      }
+    }
+  }
+}
+
+void Simulation::set_input(NetId input, bool value) {
+  if (netlist_->kinds_[input.index()] != Netlist::NetKind::kInput) {
+    throw std::invalid_argument("set_input: net is not a primary input");
+  }
+  values_[input.index()] = value ? 1 : 0;
+}
+
+void Simulation::evaluate() {
+  // Flip-flop outputs present their registered values.
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (netlist_->kinds_[i] == Netlist::NetKind::kFlipFlop) {
+      values_[i] = ff_state_[i];
+    }
+  }
+  std::vector<std::uint8_t> scratch;
+  for (const NetId gate : topo_order_) {
+    scratch.clear();
+    for (const NetId in : netlist_->gate_inputs_[gate.index()]) {
+      scratch.push_back(values_[in.index()]);
+    }
+    values_[gate.index()] = evaluate_gate(
+                                  netlist_->gate_kinds_[gate.index()],
+                                  std::span<const std::uint8_t>(
+                                      scratch.data(), scratch.size()))
+                                  ? 1
+                                  : 0;
+  }
+}
+
+void Simulation::clock_edge() {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (netlist_->kinds_[i] == Netlist::NetKind::kFlipFlop) {
+      ff_state_[i] = values_[netlist_->ff_data_[i].index()];
+    }
+  }
+}
+
+bool Simulation::value(NetId net) const {
+  return values_[net.index()] != 0;
+}
+
+std::uint64_t Simulation::output_word() const {
+  std::uint64_t word = 0;
+  for (std::size_t bit = 0; bit < netlist_->outputs_.size(); ++bit) {
+    if (values_[netlist_->outputs_[bit].second.index()] != 0) {
+      word |= (std::uint64_t{1} << bit);
+    }
+  }
+  return word;
+}
+
+Netlist make_counter_netlist(std::size_t bits, std::uint64_t initial_value) {
+  if (bits == 0 || bits > 62) {
+    throw std::invalid_argument("make_counter_netlist: bits in [1, 62]");
+  }
+  Netlist netlist;
+  const NetId enable = netlist.add_input("enable");
+  NetId carry = enable;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const bool init = (initial_value >> i) & 1;
+    const NetId q =
+        netlist.add_flip_flop(init, "q" + std::to_string(i));
+    // next_q = q XOR carry ; carry_out = q AND carry.
+    const NetId next_q = netlist.add_gate(GateKind::kXor, {q, carry});
+    const NetId carry_out = netlist.add_gate(GateKind::kAnd, {q, carry});
+    netlist.connect_flip_flop(q, next_q);
+    netlist.mark_output(q, "q" + std::to_string(i));
+    carry = carry_out;
+  }
+  return netlist;
+}
+
+}  // namespace mrsc::logic

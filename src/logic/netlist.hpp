@@ -1,0 +1,118 @@
+// Gate-level digital golden model.
+//
+// A small synchronous netlist simulator (combinational gates + D flip-flops)
+// used as the reference ("known-good hardware") when verifying molecular
+// sequential designs: the molecular counter and any FSM built on the sync
+// layer are checked cycle-by-cycle against this model. Evaluation is
+// event-free: gates are topologically ordered once, then each clock cycle
+// evaluates the combinational cone and commits the flip-flops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace mrsc::logic {
+
+struct NetTag {};
+/// Index of a boolean net (wire) in a Netlist.
+using NetId = StrongId<NetTag>;
+
+enum class GateKind : std::uint8_t {
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kBuf,
+};
+
+/// Applies a gate function to its inputs (stored as 0/1 bytes; plain
+/// std::vector<bool> lacks contiguous storage for spans).
+[[nodiscard]] bool evaluate_gate(GateKind kind,
+                                 std::span<const std::uint8_t> inputs);
+
+class Netlist {
+ public:
+  /// Declares a primary input.
+  NetId add_input(const std::string& name);
+
+  /// Declares a gate driving a fresh net.
+  NetId add_gate(GateKind kind, std::vector<NetId> inputs,
+                 const std::string& name = {});
+
+  /// Declares a D flip-flop: `q` is a fresh net holding the registered value;
+  /// the data input is connected later via `connect_flip_flop` (so feedback
+  /// loops can be expressed).
+  NetId add_flip_flop(bool initial, const std::string& name = {});
+
+  /// Connects flip-flop `q` (returned by add_flip_flop) to its data input.
+  void connect_flip_flop(NetId q, NetId d);
+
+  /// Marks a net as a primary output (for `outputs()` convenience).
+  void mark_output(NetId net, const std::string& name);
+
+  [[nodiscard]] std::size_t net_count() const { return kinds_.size(); }
+  [[nodiscard]] std::optional<NetId> find(const std::string& name) const;
+
+  /// Validates that the combinational part is acyclic and every flip-flop is
+  /// connected; throws `std::logic_error` otherwise. Called by Simulation.
+  void validate() const;
+
+ private:
+  friend class Simulation;
+
+  enum class NetKind : std::uint8_t { kInput, kGate, kFlipFlop };
+
+  std::vector<NetKind> kinds_;
+  std::vector<GateKind> gate_kinds_;           // per net (valid for kGate)
+  std::vector<std::vector<NetId>> gate_inputs_;  // per net (valid for kGate)
+  std::vector<bool> ff_initial_;               // per net (valid for kFlipFlop)
+  std::vector<NetId> ff_data_;                 // per net (valid for kFlipFlop)
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NetId> name_index_;
+  std::vector<std::pair<std::string, NetId>> outputs_;
+};
+
+/// Cycle-accurate synchronous simulation of a Netlist.
+class Simulation {
+ public:
+  explicit Simulation(const Netlist& netlist);
+
+  /// Sets a primary input for the current cycle.
+  void set_input(NetId input, bool value);
+
+  /// Evaluates the combinational logic with the current inputs and register
+  /// values (no state commit). May be called repeatedly.
+  void evaluate();
+
+  /// Commits flip-flops (rising clock edge) after an evaluate().
+  void clock_edge();
+
+  /// Convenience: set inputs, evaluate, read a net.
+  [[nodiscard]] bool value(NetId net) const;
+
+  /// Packs the named output nets (in mark_output order) as bits, LSB first.
+  [[nodiscard]] std::uint64_t output_word() const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<NetId> topo_order_;       // gates only, dependency order
+  std::vector<std::uint8_t> values_;    // current value of each net (0/1)
+  std::vector<std::uint8_t> ff_state_;  // registered value per net
+};
+
+}  // namespace mrsc::logic
+
+/// Builds an n-bit binary up-counter netlist with an `enable` input; the
+/// counter increments each clocked cycle when enable is 1. Outputs are the
+/// flip-flop nets, marked "q0".."q<n-1>".
+namespace mrsc::logic {
+Netlist make_counter_netlist(std::size_t bits, std::uint64_t initial_value);
+}  // namespace mrsc::logic

@@ -1,0 +1,111 @@
+#include "modules/combinational.hpp"
+
+#include <stdexcept>
+
+namespace mrsc::modules {
+
+namespace {
+
+using core::ReactionNetwork;
+using core::SpeciesId;
+using core::Term;
+
+/// Builds a reaction with the optional catalyst added to both sides.
+void emit(ReactionNetwork& network, std::vector<Term> reactants,
+          std::vector<Term> products, const EmitOptions& options,
+          const char* suffix) {
+  if (options.catalyst) {
+    reactants.push_back(Term{*options.catalyst, 1});
+    products.push_back(Term{*options.catalyst, 1});
+  }
+  std::string label = options.label;
+  if (!label.empty()) label += ".";
+  label += suffix;
+  network.add(std::move(reactants), std::move(products), options.category, 0.0,
+              std::move(label));
+}
+
+}  // namespace
+
+void transfer(ReactionNetwork& network, SpeciesId from, SpeciesId to,
+              const EmitOptions& options) {
+  emit(network, {{from, 1}}, {{to, 1}}, options, "transfer");
+}
+
+void duplicate(ReactionNetwork& network, SpeciesId from,
+               std::span<const SpeciesId> outputs,
+               const EmitOptions& options) {
+  if (outputs.empty()) {
+    throw std::invalid_argument("duplicate: need at least one output");
+  }
+  std::vector<Term> products;
+  products.reserve(outputs.size());
+  for (const SpeciesId out : outputs) products.push_back(Term{out, 1});
+  emit(network, {{from, 1}}, std::move(products), options, "duplicate");
+}
+
+void add_into(ReactionNetwork& network, SpeciesId a, SpeciesId b,
+              SpeciesId out, const EmitOptions& options) {
+  emit(network, {{a, 1}}, {{out, 1}}, options, "add.lhs");
+  emit(network, {{b, 1}}, {{out, 1}}, options, "add.rhs");
+}
+
+void scale_by_integer(ReactionNetwork& network, SpeciesId from, SpeciesId to,
+                      std::uint32_t factor, const EmitOptions& options) {
+  if (factor == 0) {
+    throw std::invalid_argument("scale_by_integer: factor must be >= 1");
+  }
+  emit(network, {{from, 1}}, {{to, factor}}, options, "scale");
+}
+
+void halve(ReactionNetwork& network, SpeciesId from, SpeciesId to,
+           const EmitOptions& options) {
+  emit(network, {{from, 2}}, {{to, 1}}, options, "halve");
+}
+
+void scale_dyadic(ReactionNetwork& network, SpeciesId from, SpeciesId to,
+                  std::uint32_t numerator, std::uint32_t halvings,
+                  const std::string& prefix, const EmitOptions& options) {
+  if (numerator == 0) {
+    throw std::invalid_argument("scale_dyadic: numerator must be >= 1");
+  }
+  SpeciesId current = from;
+  // Integer scale first (if trivial, skip the extra hop only when there are
+  // also no halvings, otherwise we can fold it into the first stage).
+  if (halvings == 0) {
+    scale_by_integer(network, current, to, numerator, options);
+    return;
+  }
+  if (numerator != 1) {
+    const SpeciesId scaled =
+        network.add_species(prefix + "_s0");
+    scale_by_integer(network, current, scaled, numerator, options);
+    current = scaled;
+  }
+  for (std::uint32_t stage = 1; stage <= halvings; ++stage) {
+    const SpeciesId next =
+        (stage == halvings)
+            ? to
+            : network.add_species(prefix + "_s" + std::to_string(stage));
+    halve(network, current, next, options);
+    current = next;
+  }
+}
+
+void min_into(ReactionNetwork& network, SpeciesId a, SpeciesId b,
+              SpeciesId out, const EmitOptions& options) {
+  emit(network, {{a, 1}, {b, 1}}, {{out, 1}}, options, "min");
+}
+
+void annihilate(ReactionNetwork& network, SpeciesId a, SpeciesId b,
+                const EmitOptions& options) {
+  emit(network, {{a, 1}, {b, 1}}, {}, options, "annihilate");
+}
+
+void subtract_saturating(ReactionNetwork& network, SpeciesId x, SpeciesId y,
+                         SpeciesId diff, const EmitOptions& options) {
+  transfer(network, x, diff, options);
+  annihilate(network, diff, y, options);
+}
+
+}  // namespace mrsc::modules

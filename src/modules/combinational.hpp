@@ -1,0 +1,84 @@
+// Rate-independent combinational modules.
+//
+// These are the memoryless building blocks of the paper's framework (cf.
+// Jiang/Kharam/Riedel/Parhi ICCAD'10 and Senum/Riedel PSB'11): each operation
+// is a small set of reactions that transfers quantities between molecular
+// types. Crucially, every module *consumes* its inputs — values move, they are
+// not copied — which is exactly what the synchronous compiler exploits for
+// its master/slave register discipline.
+//
+// Each emitter optionally takes a catalyst species: when given, every emitted
+// transfer reaction is catalyzed by it (the species appears unchanged on both
+// sides), which is how the clock gates computation to a phase.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::modules {
+
+/// Options shared by the emitters.
+struct EmitOptions {
+  core::RateCategory category = core::RateCategory::kFast;
+  /// When set, the catalyst is added to both sides of every emitted reaction.
+  std::optional<core::SpeciesId> catalyst;
+  /// Label prefix for the emitted reactions.
+  std::string label;
+};
+
+/// y := x   (transfer: X -> Y).
+void transfer(core::ReactionNetwork& network, core::SpeciesId from,
+              core::SpeciesId to, const EmitOptions& options = {});
+
+/// Duplication / fan-out: every unit of X becomes one unit of *each* output
+/// (X -> Y1 + Y2 + ...). This is how one value feeds several consumers.
+void duplicate(core::ReactionNetwork& network, core::SpeciesId from,
+               std::span<const core::SpeciesId> outputs,
+               const EmitOptions& options = {});
+
+/// z := x + y   (X -> Z, Y -> Z).
+void add_into(core::ReactionNetwork& network, core::SpeciesId a,
+              core::SpeciesId b, core::SpeciesId out,
+              const EmitOptions& options = {});
+
+/// y := c * x for integer c >= 1   (X -> c Y).
+void scale_by_integer(core::ReactionNetwork& network, core::SpeciesId from,
+                      core::SpeciesId to, std::uint32_t factor,
+                      const EmitOptions& options = {});
+
+/// y := x / 2   (2 X -> Y). Second-order; exact in the mass-action limit.
+void halve(core::ReactionNetwork& network, core::SpeciesId from,
+           core::SpeciesId to, const EmitOptions& options = {});
+
+/// y := x * num / 2^halvings. Builds the intermediate species it needs
+/// (named `<prefix>_s0`, `<prefix>_s1`, ...). Emits scale_by_integer once
+/// followed by `halvings` halving stages, so any dyadic-rational coefficient
+/// is expressible. Returns nothing; `to` receives the scaled value.
+void scale_dyadic(core::ReactionNetwork& network, core::SpeciesId from,
+                  core::SpeciesId to, std::uint32_t numerator,
+                  std::uint32_t halvings, const std::string& prefix,
+                  const EmitOptions& options = {});
+
+/// m := min(x, y)   (X + Y -> M): pairs one unit of each input; the smaller
+/// input is exhausted first, leaving |x - y| of the larger behind.
+void min_into(core::ReactionNetwork& network, core::SpeciesId a,
+              core::SpeciesId b, core::SpeciesId out,
+              const EmitOptions& options = {});
+
+/// Annihilation (X + Y -> 0): after it runs to completion the surviving
+/// species holds |x - y|; with (X, Y) as a dual-rail signed pair this is
+/// signed subtraction/normalization.
+void annihilate(core::ReactionNetwork& network, core::SpeciesId a,
+                core::SpeciesId b, const EmitOptions& options = {});
+
+/// diff := max(x - y, 0) computed destructively: X -> D, then D + Y -> 0.
+/// (`y` must not be needed elsewhere.)
+void subtract_saturating(core::ReactionNetwork& network, core::SpeciesId x,
+                         core::SpeciesId y, core::SpeciesId diff,
+                         const EmitOptions& options = {});
+
+}  // namespace mrsc::modules

@@ -1,0 +1,36 @@
+#include "modules/compare.hpp"
+
+#include "core/builder.hpp"
+
+namespace mrsc::modules {
+
+ComparatorHandles build_comparator(core::ReactionNetwork& network,
+                                   const std::string& prefix) {
+  core::NetworkBuilder builder(network);
+  builder.set_label_prefix(prefix + ".");
+  const std::string& p = prefix;
+
+  builder.species(p + "_P", 1.0);
+  builder.reaction(p + "_A + " + p + "_B -> 0", core::RateCategory::kFast,
+                   "cancel");
+  builder.reaction("0 -> " + p + "_ia", core::RateCategory::kSlow, "ia.gen");
+  builder.reaction(p + "_ia + " + p + "_A -> " + p + "_A",
+                   core::RateCategory::kFast, "ia.absorb");
+  builder.reaction("0 -> " + p + "_ib", core::RateCategory::kSlow, "ib.gen");
+  builder.reaction(p + "_ib + " + p + "_B -> " + p + "_B",
+                   core::RateCategory::kFast, "ib.absorb");
+  builder.reaction(p + "_P + 2 " + p + "_ib -> " + p + "_GT",
+                   core::RateCategory::kSlow, "decide.gt");
+  builder.reaction(p + "_P + 2 " + p + "_ia -> " + p + "_LE",
+                   core::RateCategory::kSlow, "decide.le");
+
+  ComparatorHandles handles;
+  handles.a = builder.species(p + "_A");
+  handles.b = builder.species(p + "_B");
+  handles.greater = builder.species(p + "_GT");
+  handles.lesser = builder.species(p + "_LE");
+  handles.token = builder.species(p + "_P");
+  return handles;
+}
+
+}  // namespace mrsc::modules

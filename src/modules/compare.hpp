@@ -1,0 +1,38 @@
+// Comparator module (completes the Senum/Riedel-style module family).
+//
+// Compares two quantities destructively and emits a single decision token:
+//
+//   A + B   ->fast  0            (pairwise cancellation)
+//   0       ->slow  ia ; ia + A ->fast A     (absence indicator of A)
+//   0       ->slow  ib ; ib + B ->fast B     (absence indicator of B)
+//   P + 2 ib ->slow GT           (B exhausted first  => a > b)
+//   P + 2 ia ->slow LE           (A exhausted first  => a < b)
+//
+// The single decision token P (initial 1) is consumed exactly once, so
+// exactly one of GT/LE is produced. The survivor side retains |a - b|
+// (usable downstream). Ties race: either output may win when a == b —
+// document-level semantics, same as any analog comparator at its threshold.
+// Like the loop modules, the `2·indicator` guard suppresses premature
+// decisions from indicator residue; correctness is exact on discrete counts
+// (SSA) up to that hazard, and the ODE limit converges to the right token.
+#pragma once
+
+#include <string>
+
+#include "core/network.hpp"
+
+namespace mrsc::modules {
+
+struct ComparatorHandles {
+  core::SpeciesId a;
+  core::SpeciesId b;
+  core::SpeciesId greater;  ///< GT: receives the token when a > b
+  core::SpeciesId lesser;   ///< LE: receives the token when a < b
+  core::SpeciesId token;    ///< P (initial 1)
+};
+
+/// Emits the comparator; species are created as `<prefix>_...`.
+ComparatorHandles build_comparator(core::ReactionNetwork& network,
+                                   const std::string& prefix);
+
+}  // namespace mrsc::modules

@@ -1,0 +1,79 @@
+#include "modules/multiply.hpp"
+
+#include "core/builder.hpp"
+
+namespace mrsc::modules {
+
+namespace {
+
+using core::RateCategory;
+
+/// Emits the common loop skeleton. `dump_products` describes what one unit of
+/// X becomes during the dump phase (e.g. "X2 + Z" for multiply, "2 X2" for
+/// doubling).
+void emit_loop(core::NetworkBuilder& builder, const std::string& p,
+               const std::string& dump_products) {
+  // Enter an iteration by consuming one loop-counter token.
+  builder.reaction(p + "_P + " + p + "_Y -> " + p + "_Q",
+                   RateCategory::kFast, "enter");
+  // Dump X (catalyzed by Q).
+  builder.reaction(p + "_Q + " + p + "_X -> " + p + "_Q + " + dump_products,
+                   RateCategory::kFast, "dump");
+  // Absence indicator of X.
+  builder.reaction("0 -> " + p + "_xg", RateCategory::kSlow, "xg.gen");
+  builder.reaction(p + "_xg + " + p + "_X -> " + p + "_X",
+                   RateCategory::kFast, "xg.absorb");
+  // X exhausted -> restore phase.
+  builder.reaction(p + "_Q + 2 " + p + "_xg -> " + p + "_Pb",
+                   RateCategory::kSlow, "advance.dump");
+  // Restore X from X2 (catalyzed by Pb).
+  builder.reaction(p + "_Pb + " + p + "_X2 -> " + p + "_Pb + " + p + "_X",
+                   RateCategory::kFast, "restore");
+  // Absence indicator of X2.
+  builder.reaction("0 -> " + p + "_x2g", RateCategory::kSlow, "x2g.gen");
+  builder.reaction(p + "_x2g + " + p + "_X2 -> " + p + "_X2",
+                   RateCategory::kFast, "x2g.absorb");
+  // Restore finished -> back to idle, ready for the next iteration.
+  builder.reaction(p + "_Pb + 2 " + p + "_x2g -> " + p + "_P",
+                   RateCategory::kSlow, "advance.restore");
+}
+
+}  // namespace
+
+MultiplierHandles build_multiplier(core::ReactionNetwork& network,
+                                   const std::string& prefix) {
+  core::NetworkBuilder builder(network);
+  builder.set_label_prefix(prefix + ".");
+  // The idle token P starts present (one copy).
+  builder.species(prefix + "_P", 1.0);
+  emit_loop(builder, prefix, prefix + "_X2 + " + prefix + "_Z");
+
+  MultiplierHandles handles;
+  handles.x = builder.species(prefix + "_X");
+  handles.x2 = builder.species(prefix + "_X2");
+  handles.y = builder.species(prefix + "_Y");
+  handles.z = builder.species(prefix + "_Z");
+  handles.token_idle = builder.species(prefix + "_P");
+  handles.token_dump = builder.species(prefix + "_Q");
+  handles.token_restore = builder.species(prefix + "_Pb");
+  return handles;
+}
+
+PowerOfTwoHandles build_times_power2(core::ReactionNetwork& network,
+                                     const std::string& prefix) {
+  core::NetworkBuilder builder(network);
+  builder.set_label_prefix(prefix + ".");
+  builder.species(prefix + "_P", 1.0);
+  emit_loop(builder, prefix, "2 " + prefix + "_X2");
+
+  PowerOfTwoHandles handles;
+  handles.x = builder.species(prefix + "_X");
+  handles.x2 = builder.species(prefix + "_X2");
+  handles.k = builder.species(prefix + "_Y");
+  handles.token_idle = builder.species(prefix + "_P");
+  handles.token_dump = builder.species(prefix + "_Q");
+  handles.token_restore = builder.species(prefix + "_Pb");
+  return handles;
+}
+
+}  // namespace mrsc::modules

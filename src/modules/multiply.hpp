@@ -1,0 +1,75 @@
+// Iterative (loop-based) modules: multiplication and power-of-two scaling.
+//
+// The companion abstract notes that operations like multiplication and
+// exponentiation "can be implemented with reactions that implement iterative
+// constructs analogous to 'for' and 'while' loops" (citing Senum/Riedel PSB
+// 2011). These loops operate on *discrete* molecule counts: each iteration
+// consumes exactly one token of the loop counter and is sequenced by absence
+// indicators. They are rate-independent in the same coarse fast/slow sense as
+// the rest of the framework.
+//
+// Semantics (discrete, exact under stochastic simulation):
+//   multiply:      Z += X * Y   (X preserved up to ping-pong renaming,
+//                                Y consumed)
+//   times_power2:  Z  = X * 2^K (X and K consumed)
+//
+// Loop skeleton for `multiply`:
+//   P + Y            ->fast  Q            (enter iteration, consume one Y)
+//   Q + X            ->fast  Q + X2 + Z   (dump X into X2, adding to Z)
+//   0                ->slow  xg           \  absence indicator of X
+//   xg + X           ->fast  X            /
+//   Q + 2 xg         ->slow  Pb           (X exhausted -> start restore)
+//   Pb + X2          ->fast  Pb + X       (restore X from X2)
+//   0                ->slow  x2g          \  absence indicator of X2
+//   x2g + X2         ->fast  X2           /
+//   Pb + 2 x2g       ->slow  P            (restore done -> next iteration)
+//
+// The `2 xg` / `2 x2g` guards reduce the probability of a premature phase
+// advance from an indicator molecule left over at a phase boundary; the
+// residual hazard probability shrinks with k_fast/k_slow, which is the
+// framework's usual robustness knob.
+//
+// Note: like the Senum/Riedel originals, these modules compute exactly on
+// discrete counts (SSA); a deterministic ODE run only approximates them,
+// because the single-molecule loop tokens P/Q have no faithful continuum
+// limit. Tests therefore validate them under SSA.
+#pragma once
+
+#include <string>
+
+#include "core/network.hpp"
+
+namespace mrsc::modules {
+
+/// Handles of a multiplier instance.
+struct MultiplierHandles {
+  core::SpeciesId x;   ///< multiplicand (preserved)
+  core::SpeciesId x2;  ///< ping-pong partner of x
+  core::SpeciesId y;   ///< multiplier (consumed; loop counter)
+  core::SpeciesId z;   ///< accumulates x*y
+  core::SpeciesId token_idle;     ///< P: holds between iterations (init 1)
+  core::SpeciesId token_dump;     ///< Q
+  core::SpeciesId token_restore;  ///< Pb
+};
+
+/// Emits the iterative multiplier; species are created as `<prefix>_...`.
+MultiplierHandles build_multiplier(core::ReactionNetwork& network,
+                                   const std::string& prefix);
+
+/// Handles of a power-of-two scaler instance.
+struct PowerOfTwoHandles {
+  core::SpeciesId x;   ///< input value (consumed into the result)
+  core::SpeciesId x2;  ///< ping-pong partner
+  core::SpeciesId k;   ///< exponent (consumed; loop counter)
+  core::SpeciesId token_idle;
+  core::SpeciesId token_dump;
+  core::SpeciesId token_restore;
+};
+
+/// Emits the iterative doubler computing x * 2^k (result ends in `x` after an
+/// even number of iterations, in `x2` after an odd number; use
+/// `result_species` with the known k to pick, or sum both).
+PowerOfTwoHandles build_times_power2(core::ReactionNetwork& network,
+                                     const std::string& prefix);
+
+}  // namespace mrsc::modules

@@ -1,0 +1,134 @@
+#include "sim/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrsc::sim {
+
+bool Observer::should_stop(double /*t*/, std::span<const double> /*state*/) {
+  return false;
+}
+
+EdgeDetector::EdgeDetector(core::SpeciesId species, double low, double high)
+    : species_(species), low_(low), high_(high) {
+  if (!(low < high)) {
+    throw std::invalid_argument("EdgeDetector: low must be < high");
+  }
+}
+
+void EdgeDetector::on_step(double t, std::span<double> state) {
+  const double x = state[species_.index()];
+  if (!initialized_) {
+    is_high_ = x >= high_;
+    initialized_ = true;
+    return;
+  }
+  if (!is_high_ && x >= high_) {
+    is_high_ = true;
+    rising_.push_back(t);
+  } else if (is_high_ && x <= low_) {
+    is_high_ = false;
+    falling_.push_back(t);
+  }
+}
+
+ScheduledInjector::ScheduledInjector(std::vector<Event> events)
+    : events_(std::move(events)) {
+  std::ranges::sort(events_, {}, &Event::time);
+}
+
+void ScheduledInjector::on_step(double t, std::span<double> state) {
+  while (next_ < events_.size() && events_[next_].time <= t) {
+    state[events_[next_].species.index()] += events_[next_].amount;
+    ++next_;
+  }
+}
+
+EdgeTriggeredInjector::EdgeTriggeredInjector(core::SpeciesId clock_species,
+                                             double low, double high,
+                                             core::SpeciesId target,
+                                             std::vector<double> samples,
+                                             std::size_t skip_edges)
+    : edge_(clock_species, low, high),
+      target_(target),
+      samples_(std::move(samples)),
+      skip_edges_(skip_edges) {}
+
+void EdgeTriggeredInjector::on_step(double t, std::span<double> state) {
+  const std::size_t before = edge_.rising_edges().size();
+  edge_.on_step(t, state);
+  if (edge_.rising_edges().size() == before) return;
+
+  ++edges_seen_;
+  if (edges_seen_ <= skip_edges_) return;
+  if (next_sample_ >= samples_.size()) return;
+  state[target_.index()] += samples_[next_sample_];
+  ++next_sample_;
+  injection_times_.push_back(t);
+}
+
+EdgeTriggeredSampler::EdgeTriggeredSampler(core::SpeciesId clock_species,
+                                           double low, double high,
+                                           core::SpeciesId target,
+                                           bool clear_after_read,
+                                           std::size_t skip_edges)
+    : edge_(clock_species, low, high),
+      target_(target),
+      clear_after_read_(clear_after_read),
+      skip_edges_(skip_edges) {}
+
+void EdgeTriggeredSampler::on_step(double t, std::span<double> state) {
+  const std::size_t before = edge_.rising_edges().size();
+  edge_.on_step(t, state);
+  if (edge_.rising_edges().size() == before) return;
+
+  ++edges_seen_;
+  if (edges_seen_ <= skip_edges_) {
+    // Warmup edges: discard (but still clear) whatever the circuit
+    // deposited, so warmup-cycle output does not contaminate the first
+    // recorded sample.
+    if (clear_after_read_) state[target_.index()] = 0.0;
+    return;
+  }
+  samples_.push_back(state[target_.index()]);
+  sample_times_.push_back(t);
+  if (clear_after_read_) state[target_.index()] = 0.0;
+}
+
+SteadyStateDetector::SteadyStateDetector(double tol, double window)
+    : tol_(tol), window_(window) {
+  if (tol <= 0.0 || window <= 0.0) {
+    throw std::invalid_argument(
+        "SteadyStateDetector: tol and window must be positive");
+  }
+}
+
+void SteadyStateDetector::on_step(double t, std::span<double> state) {
+  if (reached_) return;
+  if (last_time_ < 0.0) {
+    last_time_ = t;
+    last_state_.assign(state.begin(), state.end());
+    return;
+  }
+  if (t - last_time_ < window_) return;
+
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    max_rate = std::max(max_rate,
+                        std::abs(state[i] - last_state_[i]) / (t - last_time_));
+  }
+  if (max_rate < tol_) {
+    reached_ = true;
+    reached_time_ = t;
+  }
+  last_time_ = t;
+  last_state_.assign(state.begin(), state.end());
+}
+
+bool SteadyStateDetector::should_stop(double /*t*/,
+                                      std::span<const double> /*state*/) {
+  return reached_;
+}
+
+}  // namespace mrsc::sim

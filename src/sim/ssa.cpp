@@ -1,0 +1,348 @@
+#include "sim/ssa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mrsc::sim {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Indexed binary min-heap over (reaction, absolute firing time); supports
+/// decrease/increase-key by reaction index, as the next-reaction method needs.
+class IndexedTimeHeap {
+ public:
+  explicit IndexedTimeHeap(std::span<const double> initial_times)
+      : times_(initial_times.begin(), initial_times.end()),
+        heap_(initial_times.size()),
+        position_(initial_times.size()) {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      heap_[i] = i;
+      position_[i] = i;
+    }
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t top_reaction() const { return heap_.front(); }
+  [[nodiscard]] double top_time() const { return times_[heap_.front()]; }
+
+  void update(std::size_t reaction, double new_time) {
+    const double old_time = times_[reaction];
+    times_[reaction] = new_time;
+    const std::size_t pos = position_[reaction];
+    if (new_time < old_time) {
+      sift_up(pos);
+    } else if (new_time > old_time) {
+      sift_down(pos);
+    }
+  }
+
+ private:
+  void sift_up(std::size_t pos) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (times_[heap_[parent]] <= times_[heap_[pos]]) break;
+      swap_nodes(parent, pos);
+      pos = parent;
+    }
+  }
+
+  void sift_down(std::size_t pos) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * pos + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = pos;
+      if (left < n && times_[heap_[left]] < times_[heap_[smallest]]) {
+        smallest = left;
+      }
+      if (right < n && times_[heap_[right]] < times_[heap_[smallest]]) {
+        smallest = right;
+      }
+      if (smallest == pos) break;
+      swap_nodes(smallest, pos);
+      pos = smallest;
+    }
+  }
+
+  void swap_nodes(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    position_[heap_[a]] = a;
+    position_[heap_[b]] = b;
+  }
+
+  std::vector<double> times_;       // keyed by reaction index
+  std::vector<std::size_t> heap_;   // heap of reaction indices
+  std::vector<std::size_t> position_;  // reaction -> heap slot
+};
+
+/// Shared recording helper: samples counts (as concentrations) on a fixed
+/// time grid using zero-order hold between events.
+class SsaRecorder {
+ public:
+  SsaRecorder(const SsaOptions& options, std::size_t species_count)
+      : options_(options),
+        scratch_(species_count),
+        trajectory_(species_count) {}
+
+  void record_initial(std::span<const std::int64_t> counts) {
+    sample(0.0, counts);
+    next_sample_ = options_.record_interval;
+  }
+
+  /// Fills the sampling grid up to (but not including) `t_event` with the
+  /// pre-event counts, implementing zero-order hold.
+  void before_event(double t_event, std::span<const std::int64_t> counts) {
+    while (next_sample_ < t_event && next_sample_ <= options_.t_end) {
+      sample(next_sample_, counts);
+      next_sample_ += options_.record_interval;
+    }
+  }
+
+  void finish(double t_final, std::span<const std::int64_t> counts) {
+    before_event(t_final, counts);
+    sample(t_final, counts);
+  }
+
+  [[nodiscard]] Trajectory take() { return std::move(trajectory_); }
+
+ private:
+  void sample(double t, std::span<const std::int64_t> counts) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      scratch_[i] = static_cast<double>(counts[i]) / options_.omega;
+    }
+    trajectory_.append(t, scratch_);
+  }
+
+  const SsaOptions& options_;
+  std::vector<double> scratch_;
+  Trajectory trajectory_;
+  double next_sample_ = 0.0;
+};
+
+SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
+                     std::vector<std::int64_t> counts) {
+  util::Rng rng(options.seed);
+  const std::size_t m = system.reaction_count();
+  SsaResult result;
+  SsaRecorder recorder(options, system.species_count());
+  recorder.record_initial(counts);
+
+  std::vector<double> propensities(m);
+  double t = 0.0;
+  while (t < options.t_end && result.events < options.max_events) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      propensities[j] = system.propensity(j, counts, options.omega);
+      total += propensities[j];
+    }
+    if (total <= 0.0) {
+      result.exhausted = true;
+      break;
+    }
+    const double dt = rng.exponential(total);
+    const double t_next = t + dt;
+    if (t_next > options.t_end) {
+      t = options.t_end;
+      break;
+    }
+    // Select the firing reaction proportionally to its propensity.
+    double target = rng.uniform() * total;
+    std::size_t chosen = m - 1;
+    for (std::size_t j = 0; j < m; ++j) {
+      target -= propensities[j];
+      if (target <= 0.0) {
+        chosen = j;
+        break;
+      }
+    }
+    recorder.before_event(t_next, counts);
+    system.apply(chosen, counts);
+    t = t_next;
+    ++result.events;
+  }
+  result.hit_event_limit =
+      result.events >= options.max_events && t < options.t_end;
+  result.end_time = std::min(t, options.t_end);
+  recorder.finish(result.end_time, counts);
+  result.trajectory = recorder.take();
+  result.final_counts = std::move(counts);
+  return result;
+}
+
+SsaResult run_next_reaction(const MassActionSystem& system,
+                            const SsaOptions& options,
+                            std::vector<std::int64_t> counts) {
+  util::Rng rng(options.seed);
+  const std::size_t m = system.reaction_count();
+  SsaResult result;
+  SsaRecorder recorder(options, system.species_count());
+  recorder.record_initial(counts);
+
+  std::vector<double> propensities(m);
+  std::vector<double> firing_times(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    propensities[j] = system.propensity(j, counts, options.omega);
+    firing_times[j] = propensities[j] > 0.0
+                          ? rng.exponential(propensities[j])
+                          : kInfinity;
+  }
+  IndexedTimeHeap heap(firing_times);
+
+  double t = 0.0;
+  while (result.events < options.max_events) {
+    const std::size_t fired = heap.top_reaction();
+    const double t_next = heap.top_time();
+    if (t_next == kInfinity) {
+      result.exhausted = true;
+      break;
+    }
+    if (t_next > options.t_end) {
+      t = options.t_end;
+      break;
+    }
+    recorder.before_event(t_next, counts);
+    system.apply(fired, counts);
+    t = t_next;
+    ++result.events;
+
+    // Update every dependent reaction's propensity and firing time.
+    for (std::uint32_t dep : system.affected_reactions(fired)) {
+      const double a_new = system.propensity(dep, counts, options.omega);
+      double new_time;
+      if (dep == fired) {
+        new_time = a_new > 0.0 ? t + rng.exponential(a_new) : kInfinity;
+      } else {
+        const double a_old = propensities[dep];
+        const double old_time = firing_times[dep];
+        if (a_new <= 0.0) {
+          new_time = kInfinity;
+        } else if (a_old <= 0.0 || old_time == kInfinity) {
+          new_time = t + rng.exponential(a_new);
+        } else {
+          // Gibson-Bruck reuse: rescale the residual waiting time.
+          new_time = t + (a_old / a_new) * (old_time - t);
+        }
+      }
+      propensities[dep] = a_new;
+      firing_times[dep] = new_time;
+      heap.update(dep, new_time);
+    }
+  }
+  result.hit_event_limit =
+      result.events >= options.max_events && t < options.t_end;
+  result.end_time = std::min(t, options.t_end);
+  recorder.finish(result.end_time, counts);
+  result.trajectory = recorder.take();
+  result.final_counts = std::move(counts);
+  return result;
+}
+
+SsaResult run_tau_leaping(const MassActionSystem& system,
+                          const SsaOptions& options,
+                          std::vector<std::int64_t> counts) {
+  util::Rng rng(options.seed);
+  const std::size_t m = system.reaction_count();
+  SsaResult result;
+  SsaRecorder recorder(options, system.species_count());
+  recorder.record_initial(counts);
+
+  double t = 0.0;
+  while (t < options.t_end && result.events < options.max_events) {
+    const double tau = std::min(options.tau, options.t_end - t);
+    if (t + tau <= t) break;  // leap below one ulp of t: cannot advance
+    bool any_active = false;
+    std::uint64_t fired_this_leap = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double a = system.propensity(j, counts, options.omega);
+      if (a <= 0.0) continue;
+      any_active = true;
+      std::uint64_t firings = rng.poisson(a * tau);
+      // Cap the batch by the available reactants: an uncapped overshoot
+      // would drive counts negative, and naive clamping *mints* molecules —
+      // a fast reversible pair (e.g. the feedback dimers 2G <-> I) then
+      // amplifies the surplus into a runaway.
+      for (const auto& [idx, stoich] :
+           system.compiled_reaction(j).reactants) {
+        const std::uint64_t cap =
+            static_cast<std::uint64_t>(counts[idx] / stoich);
+        firings = std::min(firings, cap);
+      }
+      for (std::uint64_t f = 0; f < firings; ++f) {
+        system.apply(j, counts);
+      }
+      fired_this_leap += firings;
+    }
+    if (!any_active) {
+      result.exhausted = true;
+      break;
+    }
+    recorder.before_event(t + tau, counts);
+    t += tau;
+    result.events += fired_this_leap;
+  }
+  result.hit_event_limit =
+      result.events >= options.max_events && t < options.t_end;
+  result.end_time = std::min(t, options.t_end);
+  recorder.finish(result.end_time, counts);
+  result.trajectory = recorder.take();
+  result.final_counts = std::move(counts);
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> to_counts(std::span<const double> concentrations,
+                                    double omega) {
+  std::vector<std::int64_t> counts(concentrations.size());
+  for (std::size_t i = 0; i < concentrations.size(); ++i) {
+    counts[i] = static_cast<std::int64_t>(
+        std::llround(concentrations[i] * omega));
+    if (counts[i] < 0) counts[i] = 0;
+  }
+  return counts;
+}
+
+SsaResult simulate_ssa(const core::ReactionNetwork& network,
+                       const SsaOptions& options,
+                       std::vector<double> initial_concentrations) {
+  if (initial_concentrations.empty()) {
+    initial_concentrations = network.initial_state();
+  }
+  const MassActionSystem system(network);
+  return simulate_ssa(system, options,
+                      to_counts(initial_concentrations, options.omega));
+}
+
+SsaResult simulate_ssa(const MassActionSystem& system,
+                       const SsaOptions& options,
+                       std::vector<std::int64_t> initial_counts) {
+  if (initial_counts.size() != system.species_count()) {
+    throw std::invalid_argument("simulate_ssa: initial counts size mismatch");
+  }
+  if (options.t_end <= 0.0 || options.omega <= 0.0 ||
+      options.record_interval <= 0.0) {
+    throw std::invalid_argument(
+        "simulate_ssa: t_end, omega, record_interval must be positive");
+  }
+  switch (options.method) {
+    case SsaMethod::kDirect:
+      return run_direct(system, options, std::move(initial_counts));
+    case SsaMethod::kNextReaction:
+      return run_next_reaction(system, options, std::move(initial_counts));
+    case SsaMethod::kTauLeaping:
+      if (options.tau <= 0.0) {
+        throw std::invalid_argument("simulate_ssa: tau must be positive");
+      }
+      return run_tau_leaping(system, options, std::move(initial_counts));
+  }
+  throw std::logic_error("simulate_ssa: unknown method");
+}
+
+}  // namespace mrsc::sim

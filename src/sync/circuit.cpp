@@ -1,0 +1,372 @@
+#include "sync/circuit.hpp"
+
+#include <stdexcept>
+
+#include "modules/combinational.hpp"
+
+namespace mrsc::sync {
+
+namespace {
+using core::RateCategory;
+using core::SpeciesId;
+using core::Term;
+}  // namespace
+
+core::SpeciesId CompiledCircuit::input(const std::string& name) const {
+  const auto it = inputs.find(name);
+  if (it == inputs.end()) {
+    throw std::out_of_range("CompiledCircuit: no input port '" + name + "'");
+  }
+  return it->second;
+}
+
+core::SpeciesId CompiledCircuit::output(const std::string& name) const {
+  const auto it = outputs.find(name);
+  if (it == outputs.end()) {
+    throw std::out_of_range("CompiledCircuit: no output port '" + name + "'");
+  }
+  return it->second;
+}
+
+core::SpeciesId CompiledCircuit::state(const std::string& name) const {
+  const auto it = register_state.find(name);
+  if (it == register_state.end()) {
+    throw std::out_of_range("CompiledCircuit: no register '" + name + "'");
+  }
+  return it->second;
+}
+
+Sig CircuitBuilder::new_sig() {
+  sig_consumed_.push_back(false);
+  return Sig{sig_count_++};
+}
+
+void CircuitBuilder::mark_consumed(Sig sig, const char* by) {
+  if (!sig.valid() || sig.index >= sig_count_) {
+    throw std::logic_error(std::string("CircuitBuilder: invalid signal "
+                                       "passed to ") +
+                           by);
+  }
+  if (sig_consumed_[sig.index]) {
+    throw std::logic_error("CircuitBuilder: signal #" +
+                           std::to_string(sig.index) +
+                           " consumed twice (second consumer: " + by +
+                           "); use fanout() for multiple consumers");
+  }
+  sig_consumed_[sig.index] = true;
+}
+
+Sig CircuitBuilder::input(const std::string& name) {
+  Op op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  const Sig result = new_sig();
+  op.results = {result.index};
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+Reg CircuitBuilder::add_register(const std::string& name, double initial) {
+  registers_.push_back(RegisterDecl{name, initial, false, false});
+  return Reg{static_cast<std::uint32_t>(registers_.size() - 1)};
+}
+
+Sig CircuitBuilder::read(Reg reg) {
+  if (reg.index >= registers_.size()) {
+    throw std::logic_error("CircuitBuilder::read: invalid register");
+  }
+  if (registers_[reg.index].read_done) {
+    throw std::logic_error("CircuitBuilder::read: register '" +
+                           registers_[reg.index].name +
+                           "' read twice; use fanout() on the read value");
+  }
+  registers_[reg.index].read_done = true;
+  Op op;
+  op.kind = OpKind::kRead;
+  op.reg = reg.index;
+  const Sig result = new_sig();
+  op.results = {result.index};
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+void CircuitBuilder::write(Reg reg, Sig value) {
+  if (reg.index >= registers_.size()) {
+    throw std::logic_error("CircuitBuilder::write: invalid register");
+  }
+  if (registers_[reg.index].write_done) {
+    throw std::logic_error("CircuitBuilder::write: register '" +
+                           registers_[reg.index].name + "' written twice");
+  }
+  registers_[reg.index].write_done = true;
+  mark_consumed(value, "write");
+  sinks_.push_back(Sink{SinkKind::kRegister, value.index, reg.index, {}});
+}
+
+void CircuitBuilder::output(const std::string& name, Sig value) {
+  mark_consumed(value, "output");
+  sinks_.push_back(Sink{SinkKind::kOutput, value.index, UINT32_MAX, name});
+}
+
+void CircuitBuilder::output_pair(const std::string& pos_name,
+                                 const std::string& neg_name, Sig pos,
+                                 Sig neg) {
+  output(pos_name, pos);
+  output(neg_name, neg);
+  output_annihilations_.emplace_back(pos_name, neg_name);
+}
+
+void CircuitBuilder::annihilate_registers(Reg a, Reg b) {
+  if (a.index >= registers_.size() || b.index >= registers_.size() ||
+      a.index == b.index) {
+    throw std::logic_error(
+        "CircuitBuilder::annihilate_registers: invalid register pair");
+  }
+  register_annihilations_.emplace_back(a.index, b.index);
+}
+
+Sig CircuitBuilder::add(Sig a, Sig b) {
+  mark_consumed(a, "add");
+  mark_consumed(b, "add");
+  Op op;
+  op.kind = OpKind::kAdd;
+  op.operands = {a.index, b.index};
+  const Sig result = new_sig();
+  op.results = {result.index};
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+std::vector<Sig> CircuitBuilder::fanout(Sig value, std::size_t copies) {
+  if (copies == 0) {
+    throw std::logic_error("CircuitBuilder::fanout: need >= 1 copy");
+  }
+  mark_consumed(value, "fanout");
+  Op op;
+  op.kind = OpKind::kFanout;
+  op.operands = {value.index};
+  std::vector<Sig> results;
+  results.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) {
+    const Sig sig = new_sig();
+    op.results.push_back(sig.index);
+    results.push_back(sig);
+  }
+  ops_.push_back(std::move(op));
+  return results;
+}
+
+Sig CircuitBuilder::scale(Sig value, std::uint32_t numerator,
+                          std::uint32_t halvings) {
+  if (numerator == 0) {
+    throw std::logic_error("CircuitBuilder::scale: numerator must be >= 1");
+  }
+  mark_consumed(value, "scale");
+  Op op;
+  op.kind = OpKind::kScale;
+  op.operands = {value.index};
+  op.scale_numerator = numerator;
+  op.scale_halvings = halvings;
+  const Sig result = new_sig();
+  op.results = {result.index};
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+Sig CircuitBuilder::min(Sig a, Sig b) {
+  mark_consumed(a, "min");
+  mark_consumed(b, "min");
+  Op op;
+  op.kind = OpKind::kMin;
+  op.operands = {a.index, b.index};
+  const Sig result = new_sig();
+  op.results = {result.index};
+  ops_.push_back(std::move(op));
+  return result;
+}
+
+void CircuitBuilder::discard(Sig value) {
+  mark_consumed(value, "discard");
+  sinks_.push_back(Sink{SinkKind::kDiscard, value.index, UINT32_MAX, {}});
+}
+
+CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
+                                        const ClockSpec& clock_spec,
+                                        const std::string& prefix) const {
+  // --- static checks --------------------------------------------------------
+  for (std::uint32_t s = 0; s < sig_count_; ++s) {
+    if (!sig_consumed_[s]) {
+      throw std::logic_error("CircuitBuilder::compile: signal #" +
+                             std::to_string(s) +
+                             " is never consumed (dangling value would "
+                             "accumulate); use discard() if intentional");
+    }
+  }
+  for (const RegisterDecl& reg : registers_) {
+    if (!reg.read_done) {
+      throw std::logic_error("CircuitBuilder::compile: register '" + reg.name +
+                             "' is never read; its value would accumulate");
+    }
+    if (!reg.write_done) {
+      throw std::logic_error("CircuitBuilder::compile: register '" + reg.name +
+                             "' is never written");
+    }
+  }
+
+  // --- clock ----------------------------------------------------------------
+  ClockSpec spec = clock_spec;
+  if (spec.prefix == "clk") spec.prefix = prefix + "_clk";
+  CompiledCircuit compiled;
+  compiled.clock = build_clock(network, spec);
+
+  // --- species --------------------------------------------------------------
+  // One wire species per signal.
+  std::vector<SpeciesId> wires(sig_count_);
+  for (std::uint32_t s = 0; s < sig_count_; ++s) {
+    wires[s] = network.add_species(prefix + "_w" + std::to_string(s));
+  }
+  // Register color triples (R_i, G_i, B_i); the initial value sits in R.
+  std::vector<SpeciesId> reg_r(registers_.size());
+  std::vector<SpeciesId> reg_g(registers_.size());
+  std::vector<SpeciesId> reg_b(registers_.size());
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    const std::string& name = registers_[i].name;
+    reg_r[i] =
+        network.add_species(prefix + "_R_" + name, registers_[i].initial);
+    reg_g[i] = network.add_species(prefix + "_G_" + name);
+    reg_b[i] = network.add_species(prefix + "_B_" + name);
+    compiled.register_state.emplace(name, reg_r[i]);
+  }
+
+  // Gated emit helpers (see the header comment for the discipline). The
+  // combinational release runs during the RED phase; the register's two
+  // internal hops run during GREEN and BLUE.
+  modules::EmitOptions release;
+  release.category = RateCategory::kSlow;
+  release.catalyst = compiled.clock.phase_r;
+  modules::EmitOptions hop_g;
+  hop_g.category = RateCategory::kSlow;
+  hop_g.catalyst = compiled.clock.phase_g;
+  modules::EmitOptions hop_b;
+  hop_b.category = RateCategory::kSlow;
+  hop_b.catalyst = compiled.clock.phase_b;
+  modules::EmitOptions fast_op;
+  fast_op.category = RateCategory::kFast;
+
+  // Register internal hops: R_i -> G_i (green phase), G_i -> B_i (blue).
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    const std::string& name = registers_[i].name;
+    hop_g.label = prefix + ".reg." + name + ".r2g";
+    modules::transfer(network, reg_r[i], reg_g[i], hop_g);
+    hop_b.label = prefix + ".reg." + name + ".g2b";
+    modules::transfer(network, reg_g[i], reg_b[i], hop_b);
+  }
+
+  // Dual-rail normalization: the coupled registers' parked red species
+  // annihilate (fast) while they wait for the next green phase.
+  for (const auto& [a, b] : register_annihilations_) {
+    network.add({{reg_r[a], 1}, {reg_r[b], 1}}, {}, RateCategory::kFast, 0.0,
+                prefix + ".normalize." + registers_[a].name + "." +
+                    registers_[b].name);
+  }
+
+  // --- ops ------------------------------------------------------------------
+  std::size_t scale_counter = 0;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kInput: {
+        const SpeciesId port = network.add_species(prefix + "_in_" + op.name);
+        compiled.inputs.emplace(op.name, port);
+        release.label = prefix + ".release.in." + op.name;
+        modules::transfer(network, port, wires[op.results[0]], release);
+        break;
+      }
+      case OpKind::kRead: {
+        release.label = prefix + ".release.reg." + registers_[op.reg].name;
+        modules::transfer(network, reg_b[op.reg], wires[op.results[0]],
+                          release);
+        break;
+      }
+      case OpKind::kAdd: {
+        fast_op.label = prefix + ".op";
+        modules::add_into(network, wires[op.operands[0]],
+                          wires[op.operands[1]], wires[op.results[0]],
+                          fast_op);
+        break;
+      }
+      case OpKind::kFanout: {
+        fast_op.label = prefix + ".op";
+        std::vector<SpeciesId> outs;
+        outs.reserve(op.results.size());
+        for (const std::uint32_t r : op.results) outs.push_back(wires[r]);
+        modules::duplicate(network, wires[op.operands[0]], outs, fast_op);
+        break;
+      }
+      case OpKind::kScale: {
+        fast_op.label = prefix + ".op";
+        modules::scale_dyadic(network, wires[op.operands[0]],
+                              wires[op.results[0]], op.scale_numerator,
+                              op.scale_halvings,
+                              prefix + "_scale" + std::to_string(scale_counter),
+                              fast_op);
+        ++scale_counter;
+        break;
+      }
+      case OpKind::kMin: {
+        fast_op.label = prefix + ".op";
+        modules::min_into(network, wires[op.operands[0]],
+                          wires[op.operands[1]], wires[op.results[0]],
+                          fast_op);
+        // Drain the |a-b| leftover of the larger operand during the
+        // following green phase (after the red combinational phase ends).
+        for (const std::uint32_t operand : op.operands) {
+          network.add({{compiled.clock.phase_g, 1}, {wires[operand], 1}},
+                      {{compiled.clock.phase_g, 1}}, RateCategory::kSlow, 0.0,
+                      prefix + ".min.drain");
+        }
+        break;
+      }
+    }
+  }
+
+  // --- sinks ------------------------------------------------------------------
+  // Dataflow paths terminate with fast, un-gated transfers: the wires only
+  // carry value during the red phase, and the deposit must complete within
+  // it.
+  for (const Sink& sink : sinks_) {
+    switch (sink.kind) {
+      case SinkKind::kRegister: {
+        fast_op.label = prefix + ".sink.reg." + registers_[sink.reg].name;
+        modules::transfer(network, wires[sink.signal], reg_r[sink.reg],
+                          fast_op);
+        break;
+      }
+      case SinkKind::kOutput: {
+        const SpeciesId port =
+            network.add_species(prefix + "_out_" + sink.name);
+        compiled.outputs.emplace(sink.name, port);
+        fast_op.label = prefix + ".sink.out." + sink.name;
+        modules::transfer(network, wires[sink.signal], port, fast_op);
+        break;
+      }
+      case SinkKind::kDiscard: {
+        network.add({{compiled.clock.phase_g, 1}, {wires[sink.signal], 1}},
+                    {{compiled.clock.phase_g, 1}}, RateCategory::kSlow, 0.0,
+                    prefix + ".discard");
+        break;
+      }
+    }
+  }
+
+  // Output-pair normalization (after the ports exist).
+  for (const auto& [pos_name, neg_name] : output_annihilations_) {
+    network.add({{compiled.output(pos_name), 1},
+                 {compiled.output(neg_name), 1}},
+                {}, RateCategory::kFast, 0.0,
+                prefix + ".normalize.out." + pos_name);
+  }
+
+  return compiled;
+}
+
+}  // namespace mrsc::sync

@@ -1,0 +1,177 @@
+// Synchronous circuit compiler.
+//
+// `CircuitBuilder` is a small dataflow IR for clocked molecular designs:
+// input ports, registers (delay elements), and combinational operations. It
+// lowers to a flat `ReactionNetwork` containing a molecular clock plus the
+// compiled datapath, following the paper's delay-element discipline:
+//
+//   * Each register is a *color triple* of species (R_i, G_i, B_i) — exactly
+//     the three types per delay element of the paper. The registered value
+//     circulates once around the triple per clock cycle, each hop catalyzed
+//     by the matching clock phase:
+//        C_G + R_i -> C_G + G_i        (green phase)
+//        C_B + G_i -> C_B + B_i        (blue phase)
+//        C_R + B_i -> C_R + <wire>     (red phase: release into the
+//                                       combinational network)
+//   * The combinational pass executes during the RED phase: register values
+//     and input-port samples are released into wire species (slow transfers
+//     catalyzed by C_R); the ops themselves (add, fan-out, scaling, min) are
+//     fast and un-gated — their operands exist only mid-phase — and each
+//     dataflow path terminates in the R_i species of the register it feeds
+//     (or an output port).
+//   * Because a value must traverse three hops gated by three *consecutive*
+//     clock phases to cross a register, the brief overlap between adjacent
+//     clock phases cannot race a value through a register within one cycle:
+//     a full-cycle flow-through would require two consecutive off-phase
+//     leaks, suppressed as the square of the tiny phase residual. (A two-
+//     species master/slave register would not have this property — with
+//     three clock phases, any two gating phases are adjacent somewhere.)
+//   * I/O convention: inject input samples on rising edges of C_R (the
+//     combinational phase consumes them immediately); sample output ports on
+//     rising edges of C_G (the red phase that deposited them has just
+//     ended).
+//
+// Because molecular operations *consume* their operands, every signal must be
+// used exactly once; explicit `fanout` creates copies. `compile()` verifies
+// this single-use discipline and reports violations by signal name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sync/clock.hpp"
+
+namespace mrsc::sync {
+
+/// Handle to a dataflow signal (single-use).
+struct Sig {
+  std::uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+
+/// Handle to a register.
+struct Reg {
+  std::uint32_t index = UINT32_MAX;
+};
+
+/// Everything the simulation harness needs to drive a compiled circuit.
+struct CompiledCircuit {
+  ClockHandles clock;
+  /// Input port name -> species to inject samples into (on C_R rising).
+  std::map<std::string, core::SpeciesId> inputs;
+  /// Output port name -> species to sample and clear (on C_G rising).
+  std::map<std::string, core::SpeciesId> outputs;
+  /// Register name -> the red species of its color triple (where the state
+  /// sits at the start of each cycle).
+  std::map<std::string, core::SpeciesId> register_state;
+
+  [[nodiscard]] core::SpeciesId input(const std::string& name) const;
+  [[nodiscard]] core::SpeciesId output(const std::string& name) const;
+  [[nodiscard]] core::SpeciesId state(const std::string& name) const;
+};
+
+class CircuitBuilder {
+ public:
+  /// Declares an input port; returns the per-cycle sample signal.
+  Sig input(const std::string& name);
+
+  /// Declares a register with an initial value.
+  Reg add_register(const std::string& name, double initial = 0.0);
+
+  /// Reads a register's current value (allowed exactly once per register).
+  Sig read(Reg reg);
+
+  /// Schedules `value` as the register's next value (exactly once).
+  void write(Reg reg, Sig value);
+
+  /// Declares an output port fed by `value`.
+  void output(const std::string& name, Sig value);
+
+  /// Declares two output ports whose species annihilate each other (fast):
+  /// used by the dual-rail layer so a signed output pair is normalized in
+  /// place before it is sampled.
+  void output_pair(const std::string& pos_name, const std::string& neg_name,
+                   Sig pos, Sig neg);
+
+  /// Requests fast annihilation between the red (state-holding) species of
+  /// two registers: a parked dual-rail value (p, n) relaxes to its
+  /// normalized form (p-n, 0) / (0, n-p) between clock cycles.
+  void annihilate_registers(Reg a, Reg b);
+
+  /// c := a + b.
+  Sig add(Sig a, Sig b);
+
+  /// k explicit copies of `value`.
+  std::vector<Sig> fanout(Sig value, std::size_t copies);
+
+  /// value * numerator / 2^halvings (dyadic-rational coefficient).
+  Sig scale(Sig value, std::uint32_t numerator, std::uint32_t halvings);
+
+  /// min(a, b); the |a-b| leftover in the larger operand is drained during
+  /// the following green phase.
+  Sig min(Sig a, Sig b);
+
+  /// Discards a signal (drained during the following green phase).
+  void discard(Sig value);
+
+  /// Lowers the circuit into `network` (clock included). Throws
+  /// `std::logic_error` naming the offending signal/register if the
+  /// single-use discipline is violated.
+  CompiledCircuit compile(core::ReactionNetwork& network,
+                          const ClockSpec& clock_spec = {},
+                          const std::string& prefix = "ckt") const;
+
+ protected:
+  // The IR is protected (not private) so the asynchronous compiler
+  // (async::AsyncCircuitBuilder) can lower the same dataflow graph with a
+  // different synchronization discipline.
+  enum class OpKind : std::uint8_t {
+    kInput,
+    kRead,
+    kAdd,
+    kFanout,
+    kScale,
+    kMin,
+  };
+
+  struct Op {
+    OpKind kind;
+    std::vector<std::uint32_t> operands;  // signal indices
+    std::vector<std::uint32_t> results;   // signal indices
+    std::uint32_t reg = UINT32_MAX;       // for kRead
+    std::string name;                     // for kInput
+    std::uint32_t scale_numerator = 1;    // for kScale
+    std::uint32_t scale_halvings = 0;     // for kScale
+  };
+
+  enum class SinkKind : std::uint8_t { kRegister, kOutput, kDiscard };
+  struct Sink {
+    SinkKind kind;
+    std::uint32_t signal;
+    std::uint32_t reg = UINT32_MAX;  // for kRegister
+    std::string name;                // for kOutput
+  };
+
+  struct RegisterDecl {
+    std::string name;
+    double initial = 0.0;
+    bool read_done = false;
+    bool write_done = false;
+  };
+
+  Sig new_sig();
+  void mark_consumed(Sig sig, const char* by);
+
+  std::vector<Op> ops_;
+  std::vector<Sink> sinks_;
+  std::vector<RegisterDecl> registers_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> register_annihilations_;
+  std::vector<std::pair<std::string, std::string>> output_annihilations_;
+  std::vector<bool> sig_consumed_;
+  std::uint32_t sig_count_ = 0;
+};
+
+}  // namespace mrsc::sync

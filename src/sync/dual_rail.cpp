@@ -1,0 +1,76 @@
+#include "sync/dual_rail.hpp"
+
+#include <algorithm>
+
+namespace mrsc::sync {
+
+std::string rail_pos(const std::string& name) { return name + "_p"; }
+std::string rail_neg(const std::string& name) { return name + "_n"; }
+
+DSig DualRailBuilder::input(const std::string& name) {
+  return DSig{base_->input(rail_pos(name)), base_->input(rail_neg(name))};
+}
+
+DSig DualRailBuilder::lift(Sig value) {
+  // The negative rail is an always-zero input-like source; model it with an
+  // input port that is simply never driven. A dedicated "constant zero"
+  // signal would need a species anyway, and an undriven port is exactly
+  // that.
+  const std::string name =
+      "_zero" + std::to_string(port_counter_++);
+  return DSig{value, base_->input(name)};
+}
+
+DReg DualRailBuilder::add_register(const std::string& name, double initial) {
+  DReg reg;
+  reg.pos = base_->add_register(rail_pos(name), std::max(initial, 0.0));
+  reg.neg = base_->add_register(rail_neg(name), std::max(-initial, 0.0));
+  base_->annihilate_registers(reg.pos, reg.neg);
+  return reg;
+}
+
+DSig DualRailBuilder::read(DReg reg) {
+  return DSig{base_->read(reg.pos), base_->read(reg.neg)};
+}
+
+void DualRailBuilder::write(DReg reg, DSig value) {
+  base_->write(reg.pos, value.pos);
+  base_->write(reg.neg, value.neg);
+}
+
+void DualRailBuilder::output(const std::string& name, DSig value) {
+  base_->output_pair(rail_pos(name), rail_neg(name), value.pos, value.neg);
+}
+
+DSig DualRailBuilder::add(DSig a, DSig b) {
+  return DSig{base_->add(a.pos, b.pos), base_->add(a.neg, b.neg)};
+}
+
+DSig DualRailBuilder::negate(DSig value) {
+  return DSig{value.neg, value.pos};
+}
+
+DSig DualRailBuilder::subtract(DSig a, DSig b) {
+  return add(a, negate(b));
+}
+
+DSig DualRailBuilder::scale(DSig value, std::uint32_t numerator,
+                            std::uint32_t halvings) {
+  return DSig{base_->scale(value.pos, numerator, halvings),
+              base_->scale(value.neg, numerator, halvings)};
+}
+
+std::vector<DSig> DualRailBuilder::fanout(DSig value, std::size_t copies) {
+  const std::vector<Sig> pos = base_->fanout(value.pos, copies);
+  const std::vector<Sig> neg = base_->fanout(value.neg, copies);
+  std::vector<DSig> out(copies);
+  for (std::size_t i = 0; i < copies; ++i) out[i] = DSig{pos[i], neg[i]};
+  return out;
+}
+
+void DualRailBuilder::discard(DSig value) {
+  base_->discard(value.pos);
+  base_->discard(value.neg);
+}
+
+}  // namespace mrsc::sync

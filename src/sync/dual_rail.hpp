@@ -1,0 +1,81 @@
+// Signed signals via dual-rail encoding.
+//
+// Concentrations cannot be negative, so a signed value v is carried as a
+// *pair* of species (p, n) with v = p - n. This layer wraps CircuitBuilder
+// with rail-pair versions of every operation:
+//
+//   add      — railwise (p1+p2, n1+n2)
+//   negate   — swap the rails (zero reactions!)
+//   subtract — add the negation
+//   scale    — railwise dyadic scaling
+//
+// Railwise arithmetic grows both rails; *normalization* (cancelling the
+// common part min(p, n) from both) happens inside dual-rail registers: the
+// two underlying registers' red species annihilate each other (fast), so a
+// deposited (p, n) relaxes to (p-n, 0) or (0, n-p) while it waits for the
+// next green phase. Outputs are normalized the same way by routing them
+// through a register; the harness reads both rails and reports p - n.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sync/circuit.hpp"
+
+namespace mrsc::sync {
+
+/// A signed dataflow signal: value = pos - neg.
+struct DSig {
+  Sig pos;
+  Sig neg;
+};
+
+/// A signed register (a pair of coupled registers).
+struct DReg {
+  Reg pos;
+  Reg neg;
+};
+
+/// Builds signed circuits on top of a CircuitBuilder. The base builder's
+/// unsigned operations remain usable alongside (e.g. for non-negative
+/// inputs); `lift` converts an unsigned signal into a signed one.
+class DualRailBuilder {
+ public:
+  explicit DualRailBuilder(CircuitBuilder& base) : base_(&base) {}
+
+  /// Signed input port: injects into `<name>_p` / `<name>_n`.
+  DSig input(const std::string& name);
+
+  /// Lifts an unsigned signal to a signed one (negative rail = 0).
+  DSig lift(Sig value);
+
+  /// Signed register with a signed initial value; the rail pair annihilates
+  /// (normalizes) while parked in the register.
+  DReg add_register(const std::string& name, double initial = 0.0);
+
+  DSig read(DReg reg);
+  void write(DReg reg, DSig value);
+
+  /// Signed output ports `<name>_p` / `<name>_n`. The value is routed
+  /// through an internal normalizing register first, so the two ports hold
+  /// the normalized rails of the *previous* cycle's value: a signed output
+  /// adds one cycle of latency.
+  void output(const std::string& name, DSig value);
+
+  DSig add(DSig a, DSig b);
+  DSig negate(DSig value);
+  DSig subtract(DSig a, DSig b);
+  DSig scale(DSig value, std::uint32_t numerator, std::uint32_t halvings);
+  std::vector<DSig> fanout(DSig value, std::size_t copies);
+  void discard(DSig value);
+
+ private:
+  CircuitBuilder* base_;
+  std::size_t port_counter_ = 0;
+};
+
+/// Name of the positive/negative rail port for a signed port `name`.
+[[nodiscard]] std::string rail_pos(const std::string& name);
+[[nodiscard]] std::string rail_neg(const std::string& name);
+
+}  // namespace mrsc::sync

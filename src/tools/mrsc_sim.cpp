@@ -1,0 +1,250 @@
+// mrsc_sim — command-line simulator for reaction-network files.
+//
+//   mrsc_sim FILE.crn [options]
+//
+//   --t-end T          simulation horizon              (default 100)
+//   --method M         dp45 | rk4 | be | ssa | nrm | tau   (default dp45)
+//   --dt H             fixed step / initial step       (default 1e-3)
+//   --record DT        sampling interval               (default t_end/200)
+//   --omega W          molecules per concentration unit, stochastic methods
+//   --seed S           RNG seed, stochastic methods    (default 1)
+//   --tau T            leap length for tau-leaping     (default 0.01)
+//   --species A,B,C    which species to report         (default all)
+//   --csv PATH         write the trajectory as CSV
+//   --plot             render an ASCII waveform of the reported species
+//   --laws             print the network's conservation laws
+//
+// Prints the final state of the reported species; exits nonzero on error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/conservation.hpp"
+#include "analysis/plot.hpp"
+#include "core/io.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  std::string file;
+  double t_end = 100.0;
+  std::string method = "dp45";
+  double dt = 1e-3;
+  double record = 0.0;  // 0 -> t_end / 200
+  double omega = 1000.0;
+  std::uint64_t seed = 1;
+  double tau = 0.01;
+  std::vector<std::string> species;
+  std::string csv;
+  bool plot = false;
+  bool laws = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mrsc_sim FILE.crn [--t-end T] [--method "
+               "dp45|rk4|be|ssa|nrm|tau]\n"
+               "       [--dt H] [--record DT] [--omega W] [--seed S] "
+               "[--tau T]\n"
+               "       [--species A,B,C] [--csv PATH] [--plot] [--laws]\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_sim: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--t-end") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.t_end = std::stod(v);
+    } else if (std::strcmp(arg, "--method") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.method = v;
+    } else if (std::strcmp(arg, "--dt") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.dt = std::stod(v);
+    } else if (std::strcmp(arg, "--record") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.record = std::stod(v);
+    } else if (std::strcmp(arg, "--omega") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.omega = std::stod(v);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.seed = std::stoull(v);
+    } else if (std::strcmp(arg, "--tau") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.tau = std::stod(v);
+    } else if (std::strcmp(arg, "--species") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.species = split_commas(v);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.csv = v;
+    } else if (std::strcmp(arg, "--plot") == 0) {
+      options.plot = true;
+    } else if (std::strcmp(arg, "--laws") == 0) {
+      options.laws = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "mrsc_sim: unknown option %s\n", arg);
+      return false;
+    } else if (options.file.empty()) {
+      options.file = arg;
+    } else {
+      std::fprintf(stderr, "mrsc_sim: multiple input files\n");
+      return false;
+    }
+  }
+  if (options.file.empty()) {
+    usage();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) return 2;
+
+  try {
+    const core::ReactionNetwork network = core::load_network(cli.file);
+    std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
+                network.species_count(), network.reaction_count());
+
+    if (cli.laws) {
+      const auto laws = analysis::conservation_laws(network);
+      std::printf("%zu conservation law(s):\n", laws.size());
+      for (const auto& law : laws) {
+        std::printf("  ");
+        bool first = true;
+        for (std::size_t i = 0; i < law.size(); ++i) {
+          if (law[i] == 0.0) continue;
+          const core::SpeciesId id{
+              static_cast<core::SpeciesId::underlying_type>(i)};
+          std::printf("%s%+.3g %s", first ? "" : " ", law[i],
+                      network.species_name(id).c_str());
+          first = false;
+        }
+        std::printf(" = const\n");
+      }
+    }
+
+    // Resolve the reported species.
+    std::vector<core::SpeciesId> report;
+    if (cli.species.empty()) {
+      for (std::size_t i = 0; i < network.species_count(); ++i) {
+        report.push_back(core::SpeciesId{
+            static_cast<core::SpeciesId::underlying_type>(i)});
+      }
+    } else {
+      for (const std::string& name : cli.species) {
+        const auto id = network.find_species(name);
+        if (!id) {
+          std::fprintf(stderr, "mrsc_sim: unknown species '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        report.push_back(*id);
+      }
+    }
+
+    const double record =
+        cli.record > 0.0 ? cli.record : cli.t_end / 200.0;
+    sim::Trajectory trajectory;
+    if (cli.method == "dp45" || cli.method == "rk4" || cli.method == "be") {
+      sim::OdeOptions options;
+      options.t_end = cli.t_end;
+      options.dt = cli.dt;
+      options.record_interval = record;
+      options.method = cli.method == "rk4" ? sim::OdeMethod::kRk4Fixed
+                       : cli.method == "be"
+                           ? sim::OdeMethod::kBackwardEuler
+                           : sim::OdeMethod::kDormandPrince45;
+      sim::OdeResult result = simulate_ode(network, options);
+      std::printf("ODE (%s): %zu steps accepted, %zu rejected\n",
+                  cli.method.c_str(), result.steps_accepted,
+                  result.steps_rejected);
+      trajectory = std::move(result.trajectory);
+    } else if (cli.method == "ssa" || cli.method == "nrm" ||
+               cli.method == "tau") {
+      sim::SsaOptions options;
+      options.t_end = cli.t_end;
+      options.omega = cli.omega;
+      options.seed = cli.seed;
+      options.tau = cli.tau;
+      options.record_interval = record;
+      options.method = cli.method == "ssa" ? sim::SsaMethod::kDirect
+                       : cli.method == "nrm"
+                           ? sim::SsaMethod::kNextReaction
+                           : sim::SsaMethod::kTauLeaping;
+      sim::SsaResult result = simulate_ssa(network, options);
+      std::printf("SSA (%s): %llu events%s\n", cli.method.c_str(),
+                  static_cast<unsigned long long>(result.events),
+                  result.exhausted ? " (exhausted)" : "");
+      trajectory = std::move(result.trajectory);
+    } else {
+      std::fprintf(stderr, "mrsc_sim: unknown method '%s'\n",
+                   cli.method.c_str());
+      return 2;
+    }
+
+    std::printf("final state at t=%.6g:\n", trajectory.final_time());
+    for (const core::SpeciesId id : report) {
+      std::printf("  %-20s %.6g\n", network.species_name(id).c_str(),
+                  trajectory.final_value(id));
+    }
+    if (!cli.csv.empty()) {
+      analysis::write_file(cli.csv, trajectory.to_csv(network, report));
+      std::printf("trajectory written to %s\n", cli.csv.c_str());
+    }
+    if (cli.plot) {
+      analysis::AsciiPlotOptions plot;
+      plot.width = 100;
+      plot.height = 14;
+      std::printf("%s",
+                  analysis::plot_trajectory(trajectory, network, report,
+                                            plot)
+                      .c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_sim: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

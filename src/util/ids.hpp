@@ -1,0 +1,60 @@
+// Strong index types.
+//
+// The CRN data model is index-based: species and reactions live in append-only
+// tables and everything else refers to them by index. Raw integers invite
+// mix-ups (passing a reaction index where a species index is expected), so
+// indices are wrapped in a tagged strong type with explicit conversion only.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mrsc {
+
+/// A strongly typed 32-bit index. `Tag` is a phantom type that makes ids of
+/// different kinds mutually unassignable at compile time.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Default-constructed ids are invalid.
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  /// Underlying index value; only meaningful when `valid()`.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// The sentinel "no id" value.
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+struct SpeciesTag {};
+struct ReactionTag {};
+
+/// Index of a species in a `ReactionNetwork`.
+using SpeciesId = StrongId<SpeciesTag>;
+/// Index of a reaction in a `ReactionNetwork`.
+using ReactionId = StrongId<ReactionTag>;
+
+}  // namespace mrsc
+
+template <typename Tag>
+struct std::hash<mrsc::StrongId<Tag>> {
+  std::size_t operator()(mrsc::StrongId<Tag> id) const noexcept {
+    return std::hash<typename mrsc::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};

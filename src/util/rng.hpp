@@ -1,0 +1,59 @@
+// Deterministic random number generation for stochastic simulation.
+//
+// Stochastic simulation (SSA) and rate-jitter robustness sweeps must be
+// reproducible run to run and platform to platform, so the library carries its
+// own generator (xoshiro256**, seeded via SplitMix64) rather than relying on
+// the implementation-defined distributions of <random>.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mrsc::util {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna). Fast, high
+/// quality, and fully deterministic given a seed.
+class Rng {
+ public:
+  /// Seeds the generator state via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform double in (0, 1]; never returns 0 (safe for log()).
+  double uniform_positive();
+
+  /// Standard exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal variate (Box-Muller; one value per call, cached pair).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, bound) using Lemire's method.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  /// Poisson variate (Knuth's method for small means, normal approximation
+  /// with rounding for large ones). Used by the tau-leaping simulator.
+  std::uint64_t poisson(double mean);
+
+  /// Log-uniform multiplicative jitter in [1/factor, factor]; used by the
+  /// rate-robustness sweeps to perturb individual rate constants.
+  double log_uniform_jitter(double factor);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mrsc::util

@@ -1,0 +1,118 @@
+#include "core/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrsc::core {
+namespace {
+
+TEST(ParseReaction, SimpleTransfer) {
+  const ParsedReaction p = parse_reaction("X -> Y");
+  ASSERT_EQ(p.reactants.size(), 1u);
+  ASSERT_EQ(p.products.size(), 1u);
+  EXPECT_EQ(p.reactants[0].name, "X");
+  EXPECT_EQ(p.reactants[0].stoich, 1u);
+  EXPECT_EQ(p.products[0].name, "Y");
+}
+
+TEST(ParseReaction, Coefficients) {
+  const ParsedReaction p = parse_reaction("2 A + B -> 3 C");
+  ASSERT_EQ(p.reactants.size(), 2u);
+  EXPECT_EQ(p.reactants[0].stoich, 2u);
+  EXPECT_EQ(p.reactants[1].stoich, 1u);
+  EXPECT_EQ(p.products[0].stoich, 3u);
+}
+
+TEST(ParseReaction, CoefficientWithoutSpace) {
+  const ParsedReaction p = parse_reaction("2A -> B");
+  EXPECT_EQ(p.reactants[0].stoich, 2u);
+  EXPECT_EQ(p.reactants[0].name, "A");
+}
+
+TEST(ParseReaction, ZeroSideMeansEmpty) {
+  const ParsedReaction source = parse_reaction("0 -> r");
+  EXPECT_TRUE(source.reactants.empty());
+  ASSERT_EQ(source.products.size(), 1u);
+
+  const ParsedReaction sink = parse_reaction("A -> 0");
+  EXPECT_TRUE(sink.products.empty());
+}
+
+TEST(ParseReaction, EmptyRhsMeansEmpty) {
+  const ParsedReaction sink = parse_reaction("A -> ");
+  EXPECT_TRUE(sink.products.empty());
+}
+
+TEST(ParseReaction, UnderscoreNamesAllowed) {
+  const ParsedReaction p = parse_reaction("I_G1 + R_2 -> 2 G_1 + G_2");
+  EXPECT_EQ(p.reactants[0].name, "I_G1");
+  EXPECT_EQ(p.products[0].name, "G_1");
+  EXPECT_EQ(p.products[0].stoich, 2u);
+}
+
+TEST(ParseReaction, MissingArrowThrows) {
+  EXPECT_THROW(parse_reaction("A + B"), std::invalid_argument);
+}
+
+TEST(ParseReaction, DoubleArrowThrows) {
+  EXPECT_THROW(parse_reaction("A -> B -> C"), std::invalid_argument);
+}
+
+TEST(ParseReaction, EmptyTermThrows) {
+  EXPECT_THROW(parse_reaction("A + -> B"), std::invalid_argument);
+}
+
+TEST(ParseReaction, ZeroCoefficientThrows) {
+  EXPECT_THROW(parse_reaction("0 A -> B"), std::invalid_argument);
+}
+
+TEST(ParseReaction, BothSidesEmptyThrows) {
+  EXPECT_THROW(parse_reaction("0 -> 0"), std::invalid_argument);
+}
+
+TEST(NetworkBuilder, CreatesSpeciesOnDemand) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.reaction("X + b -> G1", RateCategory::kSlow);
+  EXPECT_EQ(net.species_count(), 3u);
+  EXPECT_TRUE(net.find_species("X").has_value());
+  EXPECT_TRUE(net.find_species("b").has_value());
+  EXPECT_TRUE(net.find_species("G1").has_value());
+  EXPECT_EQ(net.reaction_count(), 1u);
+  EXPECT_EQ(net.reaction(ReactionId{0}).category(), RateCategory::kSlow);
+}
+
+TEST(NetworkBuilder, ReusesExistingSpecies) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.species("X", 2.0);
+  builder.reaction("X -> Y", RateCategory::kFast);
+  EXPECT_EQ(net.species_count(), 2u);
+  EXPECT_DOUBLE_EQ(net.initial(*net.find_species("X")), 2.0);
+}
+
+TEST(NetworkBuilder, CustomRate) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.reaction("A -> B", 2.5);
+  EXPECT_EQ(net.reaction(ReactionId{0}).category(), RateCategory::kCustom);
+  EXPECT_DOUBLE_EQ(net.effective_rate(ReactionId{0}), 2.5);
+}
+
+TEST(NetworkBuilder, LabelPrefix) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.set_label_prefix("clk.");
+  builder.reaction("A -> B", RateCategory::kFast, "hop");
+  EXPECT_EQ(net.reaction(ReactionId{0}).label(), "clk.hop");
+}
+
+TEST(NetworkBuilder, SpeciesInitialOverwrite) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.species("A");
+  builder.species("A", 4.0);
+  EXPECT_DOUBLE_EQ(net.initial(*net.find_species("A")), 4.0);
+}
+
+}  // namespace
+}  // namespace mrsc::core

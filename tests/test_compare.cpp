@@ -1,0 +1,101 @@
+#include "modules/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+
+namespace mrsc::modules {
+namespace {
+
+using core::ReactionNetwork;
+
+struct CompareCase {
+  double a;
+  double b;
+};
+
+class ComparatorSsaTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(ComparatorSsaTest, EmitsCorrectTokenOnCounts) {
+  const auto [a, b] = GetParam();
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const ComparatorHandles handles = build_comparator(net, "cmp");
+  net.set_initial(handles.a, a);
+  net.set_initial(handles.b, b);
+
+  sim::SsaOptions options;
+  options.t_end = 500.0;
+  options.omega = 1.0;
+  options.seed = 21;
+  const sim::SsaResult result = simulate_ssa(net, options);
+  const std::int64_t gt = result.final_counts[handles.greater.index()];
+  const std::int64_t le = result.final_counts[handles.lesser.index()];
+  EXPECT_EQ(gt + le, 1) << "exactly one decision token";
+  if (a > b) {
+    EXPECT_EQ(gt, 1) << "a=" << a << " b=" << b;
+    // Survivor retains the difference.
+    EXPECT_EQ(result.final_counts[handles.a.index()],
+              static_cast<std::int64_t>(a - b));
+  } else if (a < b) {
+    EXPECT_EQ(le, 1) << "a=" << a << " b=" << b;
+    EXPECT_EQ(result.final_counts[handles.b.index()],
+              static_cast<std::int64_t>(b - a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ComparatorSsaTest,
+                         ::testing::Values(CompareCase{5, 2},
+                                           CompareCase{2, 5},
+                                           CompareCase{1, 8},
+                                           CompareCase{8, 1},
+                                           CompareCase{3, 4},
+                                           CompareCase{10, 9}));
+
+TEST(Comparator, TieEmitsExactlyOneToken) {
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const ComparatorHandles handles = build_comparator(net, "cmp");
+  net.set_initial(handles.a, 4.0);
+  net.set_initial(handles.b, 4.0);
+  sim::SsaOptions options;
+  options.t_end = 500.0;
+  options.omega = 1.0;
+  options.seed = 5;
+  const sim::SsaResult result = simulate_ssa(net, options);
+  EXPECT_EQ(result.final_counts[handles.greater.index()] +
+                result.final_counts[handles.lesser.index()],
+            1);
+}
+
+TEST(Comparator, OdeLimitConvergesToRightToken) {
+  ReactionNetwork net;
+  const ComparatorHandles handles = build_comparator(net, "cmp");
+  net.set_initial(handles.a, 2.0);
+  net.set_initial(handles.b, 0.75);
+  sim::OdeOptions options;
+  options.t_end = 100.0;
+  const sim::OdeResult result = sim::simulate_ode(net, options);
+  EXPECT_GT(result.trajectory.final_value(handles.greater), 0.9);
+  EXPECT_LT(result.trajectory.final_value(handles.lesser), 0.1);
+  EXPECT_NEAR(result.trajectory.final_value(handles.a), 1.25, 0.05);
+}
+
+TEST(Comparator, ZeroOperandDecidesImmediately) {
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const ComparatorHandles handles = build_comparator(net, "cmp");
+  net.set_initial(handles.a, 3.0);
+  net.set_initial(handles.b, 0.0);
+  sim::SsaOptions options;
+  options.t_end = 200.0;
+  options.omega = 1.0;
+  options.seed = 9;
+  const sim::SsaResult result = simulate_ssa(net, options);
+  EXPECT_EQ(result.final_counts[handles.greater.index()], 1);
+  EXPECT_EQ(result.final_counts[handles.a.index()], 3);
+}
+
+}  // namespace
+}  // namespace mrsc::modules

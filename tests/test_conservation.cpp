@@ -1,0 +1,153 @@
+#include "analysis/conservation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "async/chain.hpp"
+#include "core/builder.hpp"
+#include "dsp/counter.hpp"
+#include "sim/ode.hpp"
+#include "sync/clock.hpp"
+#include "util/rng.hpp"
+
+namespace mrsc::analysis {
+namespace {
+
+using core::NetworkBuilder;
+using core::ReactionNetwork;
+
+TEST(Conservation, SimpleDecayConservesTotal) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("A -> B", 1.0);
+  const auto laws = conservation_laws(net);
+  ASSERT_EQ(laws.size(), 1u);
+  // w = (1, 1) up to scale.
+  EXPECT_DOUBLE_EQ(laws[0][0], laws[0][1]);
+  EXPECT_NE(laws[0][0], 0.0);
+}
+
+TEST(Conservation, SourceBreaksConservation) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("0 -> A", 1.0);
+  EXPECT_TRUE(conservation_laws(net).empty());
+}
+
+TEST(Conservation, CatalystIsItsOwnLaw) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("C + A -> C + B", 1.0);
+  const auto laws = conservation_laws(net);
+  // Two independent laws: {C} and {A + B}.
+  ASSERT_EQ(laws.size(), 2u);
+}
+
+TEST(Conservation, DimerizationWeightsByStoichiometry) {
+  // A <-> dimer: conserved quantity is A + 2 D.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("2 A -> D", 1.0);
+  b.reaction("D -> 2 A", 1.0);
+  const auto laws = conservation_laws(net);
+  ASSERT_EQ(laws.size(), 1u);
+  const double a_weight = laws[0][net.find_species("A")->index()];
+  const double d_weight = laws[0][net.find_species("D")->index()];
+  EXPECT_NEAR(d_weight / a_weight, 2.0, 1e-9);
+}
+
+TEST(Conservation, ClockTokenLawDiscovered) {
+  // The clock's token lives in {C_R, C_G, C_B} + 2x the dimers; indicators
+  // are produced from nothing, so they cannot appear in any law.
+  ReactionNetwork net;
+  const sync::ClockHandles clock = sync::build_clock(net, {});
+  const auto laws = conservation_laws(net);
+  ASSERT_EQ(laws.size(), 1u);
+  const auto& law = laws[0];
+  const double r = law[clock.phase_r.index()];
+  ASSERT_NE(r, 0.0);
+  EXPECT_NEAR(law[clock.phase_g.index()] / r, 1.0, 1e-9);
+  EXPECT_NEAR(law[clock.phase_b.index()] / r, 1.0, 1e-9);
+  EXPECT_NEAR(law[net.find_species("clk_I_r2g")->index()] / r, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(law[clock.ind_r.index()], 0.0);
+}
+
+TEST(Conservation, CounterBitsEachConserved) {
+  // Each dual-rail bit contributes one conservation law (Z + O + primed).
+  ReactionNetwork net;
+  dsp::CounterSpec spec;
+  spec.bits = 3;
+  dsp::build_counter(net, spec);
+  const auto laws = conservation_laws(net);
+  EXPECT_GE(laws.size(), 4u);  // 3 bits + the clock token
+}
+
+TEST(Conservation, LawsAreInvariantAlongTrajectories) {
+  // Property: every discovered law is numerically constant along a simulated
+  // trajectory of the async chain.
+  ReactionNetwork net;
+  async::ChainSpec spec;
+  spec.elements = 2;
+  const async::ChainHandles chain = async::build_delay_chain(net, spec);
+  net.set_initial(chain.input, 1.0);
+  const auto laws = conservation_laws(net);
+  ASSERT_FALSE(laws.empty());
+
+  sim::OdeOptions options;
+  options.t_end = 40.0;
+  options.record_interval = 2.0;
+  const sim::OdeResult run = sim::simulate_ode(net, options);
+  for (const auto& law : laws) {
+    const double initial = conserved_quantity(law, run.trajectory.state(0));
+    for (std::size_t k = 1; k < run.trajectory.sample_count(); ++k) {
+      EXPECT_NEAR(conserved_quantity(law, run.trajectory.state(k)), initial,
+                  1e-4 + 1e-3 * std::abs(initial));
+    }
+  }
+}
+
+// Property: on random closed networks (no sources/sinks of mass), random
+// laws found are invariant under the ODE flow.
+class RandomConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConservationTest, DiscoveredLawsHoldNumerically) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  ReactionNetwork net;
+  const std::size_t n = 4 + rng.uniform_below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_species("S" + std::to_string(i), rng.uniform(0.2, 1.5));
+  }
+  // Mass-preserving random reactions: A + B -> C + D shapes.
+  for (int j = 0; j < 6; ++j) {
+    auto pick = [&] {
+      return core::SpeciesId{static_cast<core::SpeciesId::underlying_type>(
+          rng.uniform_below(n))};
+    };
+    net.add({{pick(), 1}, {pick(), 1}}, {{pick(), 1}, {pick(), 1}},
+            core::RateCategory::kCustom, rng.uniform(0.2, 3.0));
+  }
+  const auto laws = conservation_laws(net);
+  // Total mass is always conserved by this reaction shape.
+  ASSERT_GE(laws.size(), 1u);
+
+  sim::OdeOptions options;
+  options.t_end = 5.0;
+  options.record_interval = 0.5;
+  const sim::OdeResult run = sim::simulate_ode(net, options);
+  for (const auto& law : laws) {
+    const double initial = conserved_quantity(law, run.trajectory.state(0));
+    EXPECT_NEAR(conserved_quantity(law, run.trajectory.final_state()),
+                initial, 1e-5 + 1e-4 * std::abs(initial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConservationTest,
+                         ::testing::Range(0, 8));
+
+TEST(Conservation, ConservedQuantitySizeMismatchThrows) {
+  const std::vector<double> law = {1.0, 1.0};
+  const std::vector<double> state = {1.0};
+  EXPECT_THROW((void)conserved_quantity(law, state), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrsc::analysis

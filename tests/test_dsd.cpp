@@ -1,0 +1,163 @@
+#include "dna/dsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "sim/ode.hpp"
+
+namespace mrsc::dna {
+namespace {
+
+using core::NetworkBuilder;
+using core::ReactionNetwork;
+using core::SpeciesId;
+
+ReactionNetwork cascade() {
+  // A -> B -> C with a bimolecular side branch B + D -> E.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.species("D", 0.4);
+  b.reaction("A -> B", 1.0);
+  b.reaction("B -> C", 0.5);
+  b.reaction("B + D -> E", 2.0);
+  return net;
+}
+
+TEST(DsdCompiler, SignalSpeciesCarryOver) {
+  const DsdCompilation compiled = compile_to_dsd(cascade());
+  for (const char* name : {"A", "B", "C", "D", "E"}) {
+    EXPECT_TRUE(compiled.network.find_species(name).has_value()) << name;
+  }
+  EXPECT_DOUBLE_EQ(
+      compiled.network.initial(*compiled.network.find_species("A")), 1.0);
+}
+
+TEST(DsdCompiler, SignalMapMatchesNames) {
+  const ReactionNetwork formal = cascade();
+  const DsdCompilation compiled = compile_to_dsd(formal);
+  ASSERT_EQ(compiled.signal_map.size(), formal.species_count());
+  for (std::size_t i = 0; i < formal.species_count(); ++i) {
+    const SpeciesId original{static_cast<SpeciesId::underlying_type>(i)};
+    EXPECT_EQ(compiled.network.species_name(compiled.signal_map[i]),
+              formal.species_name(original));
+  }
+}
+
+TEST(DsdCompiler, BlowUpBookkeeping) {
+  const DsdCompilation compiled = compile_to_dsd(cascade());
+  EXPECT_EQ(compiled.original_stats.reactions, 3u);
+  // Unimolecular -> 2 reactions, bimolecular -> 4.
+  EXPECT_EQ(compiled.compiled_stats.reactions, 2u + 2u + 4u);
+  EXPECT_GT(compiled.compiled_stats.species,
+            compiled.original_stats.species);
+  EXPECT_FALSE(compiled.fuels.empty());
+}
+
+TEST(DsdCompiler, WasteTrackingOptional) {
+  DsdOptions with;
+  with.track_waste = true;
+  DsdOptions without;
+  without.track_waste = false;
+  const std::size_t species_with =
+      compile_to_dsd(cascade(), with).compiled_stats.species;
+  const std::size_t species_without =
+      compile_to_dsd(cascade(), without).compiled_stats.species;
+  EXPECT_EQ(species_with, species_without + 3u);  // one waste per gate
+}
+
+TEST(DsdCompiler, RejectsTrimolecular) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("A + 2 B -> C", 1.0);
+  EXPECT_THROW((void)compile_to_dsd(net), std::invalid_argument);
+}
+
+TEST(DsdCompiler, RejectsBadOptions) {
+  DsdOptions bad_fuel;
+  bad_fuel.fuel_initial = 0.0;
+  EXPECT_THROW((void)compile_to_dsd(cascade(), bad_fuel),
+               std::invalid_argument);
+  DsdOptions bad_q;
+  bad_q.q_max = -1.0;
+  EXPECT_THROW((void)compile_to_dsd(cascade(), bad_q), std::invalid_argument);
+}
+
+TEST(DsdCompiler, ZeroOrderSourceCompiles) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("0 -> A", 0.5);
+  const DsdCompilation compiled = compile_to_dsd(net);
+  EXPECT_EQ(compiled.compiled_stats.reactions, 2u);
+  // No zero-order reactions survive: everything is fuel-driven.
+  EXPECT_EQ(compiled.compiled_stats.zero_order_sources, 0u);
+}
+
+// Behavioural equivalence: the compiled network's signal trajectories track
+// the formal network while fuels last.
+TEST(DsdEquivalence, CascadeTrajectoriesMatch) {
+  const ReactionNetwork formal = cascade();
+  DsdOptions options;
+  options.fuel_initial = 200.0;  // plentiful fuel -> high fidelity
+  options.q_max = 2000.0;
+  const DsdCompilation compiled = compile_to_dsd(formal, options);
+
+  sim::OdeOptions ode;
+  ode.t_end = 6.0;
+  ode.record_interval = 0.5;
+  const sim::OdeResult formal_run = sim::simulate_ode(formal, ode);
+  const sim::OdeResult dsd_run = sim::simulate_ode(compiled.network, ode);
+
+  for (const char* name : {"A", "B", "C", "E"}) {
+    const SpeciesId f = *formal.find_species(name);
+    const SpeciesId d = *compiled.network.find_species(name);
+    for (double t = 0.5; t <= 6.0; t += 0.5) {
+      EXPECT_NEAR(dsd_run.trajectory.value_at(t, d),
+                  formal_run.trajectory.value_at(t, f), 0.03)
+          << name << " at t=" << t;
+    }
+  }
+}
+
+TEST(DsdEquivalence, ScarceFuelDegradesFidelity) {
+  const ReactionNetwork formal = cascade();
+  auto error_with_fuel = [&](double fuel) {
+    DsdOptions options;
+    options.fuel_initial = fuel;
+    options.q_max = 2000.0;
+    const DsdCompilation compiled = compile_to_dsd(formal, options);
+    sim::OdeOptions ode;
+    ode.t_end = 6.0;
+    const sim::OdeResult formal_run = sim::simulate_ode(formal, ode);
+    const sim::OdeResult dsd_run = sim::simulate_ode(compiled.network, ode);
+    const SpeciesId cf = *formal.find_species("C");
+    const SpeciesId cd = *compiled.network.find_species("C");
+    return std::abs(dsd_run.trajectory.final_value(cd) -
+                    formal_run.trajectory.final_value(cf));
+  };
+  const double rich = error_with_fuel(200.0);
+  const double poor = error_with_fuel(3.0);
+  EXPECT_LT(rich, poor);
+  EXPECT_LT(rich, 0.02);
+}
+
+TEST(DsdEquivalence, FuelsDeplete) {
+  const ReactionNetwork formal = cascade();
+  DsdOptions options;
+  options.fuel_initial = 50.0;
+  options.q_max = 2000.0;
+  const DsdCompilation compiled = compile_to_dsd(formal, options);
+  sim::OdeOptions ode;
+  ode.t_end = 6.0;
+  const sim::OdeResult run = sim::simulate_ode(compiled.network, ode);
+  bool some_fuel_consumed = false;
+  for (const SpeciesId fuel : compiled.fuels) {
+    const double remaining = run.trajectory.final_value(fuel);
+    EXPECT_LE(remaining, options.fuel_initial + 1e-9);
+    if (remaining < options.fuel_initial - 0.1) some_fuel_consumed = true;
+  }
+  EXPECT_TRUE(some_fuel_consumed);
+}
+
+}  // namespace
+}  // namespace mrsc::dna

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hpp"
+#include "analysis/metrics.hpp"
+#include "dsp/filters.hpp"
+
+namespace mrsc::dsp {
+namespace {
+
+analysis::ClockedRunOptions options_for(const core::ReactionNetwork& net,
+                                        std::size_t cycles) {
+  analysis::ClockedRunOptions options;
+  options.ode.t_end =
+      analysis::suggest_t_end({}, net.rate_policy(), cycles);
+  return options;
+}
+
+std::vector<double> run_signed_fir(const Design& design,
+                                   const std::vector<double>& x) {
+  std::vector<analysis::PortSamples> inputs(2);
+  inputs[0] = {"x_p", x};
+  inputs[1] = {"x_n", std::vector<double>(x.size(), 0.0)};
+  const std::vector<std::string> out_ports = {"y_p", "y_n"};
+  const auto result = analysis::run_clocked_circuit_multi(
+      *design.network, design.circuit, inputs, out_ports,
+      options_for(*design.network, x.size()));
+  return analysis::signed_series(result, "y");
+}
+
+TEST(TapValue, DyadicArithmetic) {
+  EXPECT_DOUBLE_EQ(tap_value({1, 0, false}), 1.0);
+  EXPECT_DOUBLE_EQ(tap_value({3, 2, false}), 0.75);
+  EXPECT_DOUBLE_EQ(tap_value({1, 1, true}), -0.5);
+}
+
+TEST(ReferenceFir, Convolution) {
+  const std::vector<DyadicTap> taps = {{1, 0, false}, {1, 1, true}};
+  const std::vector<double> x = {1.0, 0.0, 2.0};
+  const auto y = reference_fir(taps, x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -0.5);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(Fir, EmptyTapsRejected) {
+  const std::vector<DyadicTap> none;
+  EXPECT_THROW((void)make_fir(none), std::invalid_argument);
+}
+
+TEST(Fir, PositiveTapsCompileSingleRail) {
+  const std::vector<DyadicTap> taps = {{1, 1, false}, {1, 1, false}};
+  const Design design = make_fir(taps);
+  EXPECT_NO_THROW((void)design.circuit.output("y"));
+  EXPECT_THROW((void)design.circuit.output("y_p"), std::out_of_range);
+}
+
+TEST(Fir, NegativeTapsCompileDualRail) {
+  const std::vector<DyadicTap> taps = {{1, 0, false}, {1, 0, true}};
+  const Design design = make_fir(taps);
+  EXPECT_NO_THROW((void)design.circuit.output("y_p"));
+  EXPECT_NO_THROW((void)design.circuit.output("y_n"));
+}
+
+TEST(Fir, UnsignedThreeTapMatchesReference) {
+  // y[n] = x[n]/2 + x[n-1]/4 + x[n-2]/4.
+  const std::vector<DyadicTap> taps = {{1, 1, false},
+                                       {1, 2, false},
+                                       {1, 2, false}};
+  const Design design = make_fir(taps);
+  const std::vector<double> x = {1.0, 0.5, 2.0, 0.0, 1.0, 0.25};
+  const auto result = analysis::run_clocked_circuit(
+      *design.network, design.circuit, "x", x, "y",
+      options_for(*design.network, x.size()));
+  EXPECT_LT(analysis::max_abs_error(result.outputs, reference_fir(taps, x)),
+            0.02);
+}
+
+TEST(Fir, MovingAverageAsFirMatchesDedicatedDesign) {
+  const std::vector<DyadicTap> taps = {{1, 1, false}, {1, 1, false}};
+  const Design design = make_fir(taps);
+  const std::vector<double> x = {1.0, 1.0, 2.0, 0.0};
+  const auto result = analysis::run_clocked_circuit(
+      *design.network, design.circuit, "x", x, "y",
+      options_for(*design.network, x.size()));
+  EXPECT_LT(analysis::max_abs_error(result.outputs,
+                                    reference_moving_average(x)),
+            0.02);
+}
+
+TEST(Fir, SignedHighPassMatchesReference) {
+  // y[n] = x[n] - x[n-1]/2 - x[n-2]/2: a signed three-tap high-pass.
+  const std::vector<DyadicTap> taps = {{1, 0, false},
+                                       {1, 1, true},
+                                       {1, 1, true}};
+  const Design design = make_fir(taps);
+  const std::vector<double> x = {1.0, 1.0, 1.0, 0.0, 2.0};
+  const auto y = run_signed_fir(design, x);
+  EXPECT_LT(analysis::max_abs_error(y, reference_fir(taps, x)), 0.03);
+}
+
+TEST(SignedBiquad, OscillatoryImpulseResponse) {
+  const Design design = make_signed_biquad();
+  const std::vector<double> x = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const auto y = run_signed_fir(design, x);
+  const auto expected = reference_signed_biquad(x);
+  // The impulse response rings with alternating sign: 1, -0.5, 0, 0.125 ...
+  EXPECT_LT(expected[1], 0.0);
+  EXPECT_LT(y[1], -0.3);
+  EXPECT_LT(analysis::max_abs_error(y, expected), 0.03);
+}
+
+TEST(SignedBiquad, StepResponseSettlesToDcGain) {
+  const Design design = make_signed_biquad();
+  const std::vector<double> x(10, 1.0);
+  const auto y = run_signed_fir(design, x);
+  const auto expected = reference_signed_biquad(x);
+  // DC gain = 1 / (1 + 1/2 + 1/4) = 4/7.
+  EXPECT_NEAR(expected.back(), 4.0 / 7.0, 0.01);
+  EXPECT_LT(analysis::max_abs_error(y, expected), 0.04);
+}
+
+}  // namespace
+}  // namespace mrsc::dsp

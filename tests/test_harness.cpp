@@ -1,0 +1,112 @@
+#include "analysis/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filters.hpp"
+
+namespace mrsc::analysis {
+namespace {
+
+TEST(Harness, SuggestTEndScalesWithCyclesAndStretch) {
+  const core::RatePolicy policy;
+  const sync::ClockSpec base;
+  sync::ClockSpec stretched;
+  stretched.phase_stretch = 8.0;
+  EXPECT_GT(suggest_t_end(base, policy, 20), suggest_t_end(base, policy, 5));
+  EXPECT_GT(suggest_t_end(stretched, policy, 5),
+            suggest_t_end(base, policy, 5));
+}
+
+TEST(Harness, SuggestTEndScalesWithSlowRate) {
+  core::RatePolicy fast_policy;
+  fast_policy.k_slow = 10.0;
+  const sync::ClockSpec spec;
+  EXPECT_LT(suggest_t_end(spec, fast_policy, 5),
+            suggest_t_end(spec, core::RatePolicy{}, 5));
+}
+
+TEST(Harness, RunReturnsTimestampsAndPeriod) {
+  auto design = dsp::make_delay_line(1);
+  const std::vector<double> x = {1.0, 0.5, 0.25};
+  ClockedRunOptions options;
+  options.ode.t_end =
+      suggest_t_end({}, design.network->rate_policy(), x.size());
+  const auto result = run_clocked_circuit(*design.network, design.circuit,
+                                          "x", x, "y", options);
+  ASSERT_EQ(result.outputs.size(), 3u);
+  ASSERT_EQ(result.input_times.size(), 3u);
+  ASSERT_EQ(result.output_times.size(), 3u);
+  // Outputs are sampled after their cycle's injection.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(result.output_times[i], result.input_times[i]);
+  }
+  EXPECT_GT(result.clock_period, 5.0);
+  EXPECT_LT(result.clock_period, 100.0);
+  // The run stops shortly after the last sample, well before t_end.
+  EXPECT_LT(result.ode.end_time, options.ode.t_end);
+}
+
+TEST(Harness, ThrowsWhenBudgetTooShort) {
+  auto design = dsp::make_delay_line(1);
+  const std::vector<double> x = {1.0, 0.5, 0.25, 0.6, 0.7};
+  ClockedRunOptions options;
+  options.ode.t_end = 40.0;  // ~1 clock period: cannot fit 5 cycles
+  EXPECT_THROW((void)run_clocked_circuit(*design.network, design.circuit,
+                                         "x", x, "y", options),
+               std::runtime_error);
+}
+
+TEST(Harness, EmptySamplesThrow) {
+  auto design = dsp::make_delay_line(1);
+  ClockedRunOptions options;
+  EXPECT_THROW((void)run_clocked_circuit(*design.network, design.circuit,
+                                         "x", {}, "y", options),
+               std::invalid_argument);
+}
+
+TEST(Harness, UnknownPortsThrow) {
+  auto design = dsp::make_delay_line(1);
+  const std::vector<double> x = {1.0};
+  ClockedRunOptions options;
+  options.ode.t_end = 200.0;
+  EXPECT_THROW((void)run_clocked_circuit(*design.network, design.circuit,
+                                         "bogus", x, "y", options),
+               std::out_of_range);
+  EXPECT_THROW((void)run_clocked_circuit(*design.network, design.circuit,
+                                         "x", x, "bogus", options),
+               std::out_of_range);
+}
+
+TEST(Harness, CounterRunRejectsZeroIncrements) {
+  core::ReactionNetwork net;
+  dsp::CounterSpec spec;
+  const dsp::CounterHandles handles = dsp::build_counter(net, spec);
+  ClockedRunOptions options;
+  EXPECT_THROW((void)run_counter(net, handles, 0, options),
+               std::invalid_argument);
+}
+
+TEST(Harness, WarmupShiftsAlignment) {
+  // Regardless of warmup, the sampled outputs must line up with the same
+  // reference sequence (the warmup cycles see zero input).
+  auto run_with_warmup = [](std::size_t warmup) {
+    auto design = dsp::make_delay_line(1);
+    const std::vector<double> x = {0.7, 0.3};
+    ClockedRunOptions options;
+    options.warmup_edges = warmup;
+    options.ode.t_end =
+        suggest_t_end({}, design.network->rate_policy(), x.size() + warmup);
+    return run_clocked_circuit(*design.network, design.circuit, "x", x, "y",
+                               options)
+        .outputs;
+  };
+  const auto w1 = run_with_warmup(1);
+  const auto w3 = run_with_warmup(3);
+  ASSERT_EQ(w1.size(), w3.size());
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_NEAR(w1[i], w3[i], 0.01) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mrsc::analysis

@@ -1,0 +1,50 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mrsc {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  SpeciesId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, SpeciesId::invalid());
+}
+
+TEST(StrongId, ExplicitValueIsValid) {
+  SpeciesId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(StrongId, ZeroIsValid) {
+  SpeciesId id{0};
+  EXPECT_TRUE(id.valid());
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(SpeciesId{1}, SpeciesId{2});
+  EXPECT_EQ(SpeciesId{3}, SpeciesId{3});
+  EXPECT_NE(SpeciesId{3}, SpeciesId{4});
+}
+
+TEST(StrongId, DifferentTagsAreDifferentTypes) {
+  static_assert(!std::is_same_v<SpeciesId, ReactionId>);
+  static_assert(!std::is_convertible_v<SpeciesId, ReactionId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<SpeciesId> set;
+  set.insert(SpeciesId{1});
+  set.insert(SpeciesId{2});
+  set.insert(SpeciesId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(SpeciesId{2}));
+  EXPECT_FALSE(set.contains(SpeciesId{3}));
+}
+
+}  // namespace
+}  // namespace mrsc

@@ -1,0 +1,209 @@
+#include "modules/combinational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "sim/ode.hpp"
+
+namespace mrsc::modules {
+namespace {
+
+using core::ReactionNetwork;
+using core::SpeciesId;
+
+// Runs a network of fast-only modules to (near) completion and returns the
+// final state.
+std::vector<double> settle(const ReactionNetwork& net, double t_end = 5.0) {
+  sim::OdeOptions options;
+  options.t_end = t_end;
+  const sim::OdeResult result = sim::simulate_ode(net, options);
+  return {result.trajectory.final_state().begin(),
+          result.trajectory.final_state().end()};
+}
+
+TEST(Modules, TransferMovesEverything) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 2.5);
+  const SpeciesId y = net.add_species("Y");
+  transfer(net, x, y);
+  const auto state = settle(net);
+  EXPECT_NEAR(state[x.index()], 0.0, 1e-3);
+  EXPECT_NEAR(state[y.index()], 2.5, 1e-3);
+}
+
+TEST(Modules, TransferWithCatalystOnlyRunsWhenCatalystPresent) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 1.0);
+  const SpeciesId y = net.add_species("Y");
+  const SpeciesId cat = net.add_species("C", 0.0);
+  EmitOptions options;
+  options.catalyst = cat;
+  transfer(net, x, y, options);
+  // Catalyst absent: nothing happens.
+  auto state = settle(net, 1.0);
+  EXPECT_NEAR(state[x.index()], 1.0, 1e-9);
+  // Catalyst present: transfer completes, catalyst conserved.
+  net.set_initial(cat, 1.0);
+  state = settle(net);
+  EXPECT_NEAR(state[y.index()], 1.0, 1e-3);
+  EXPECT_NEAR(state[cat.index()], 1.0, 1e-9);
+}
+
+TEST(Modules, DuplicateFansOut) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 1.5);
+  const SpeciesId a = net.add_species("A");
+  const SpeciesId b = net.add_species("B");
+  const SpeciesId c = net.add_species("C");
+  const std::vector<SpeciesId> outs = {a, b, c};
+  duplicate(net, x, outs);
+  const auto state = settle(net);
+  EXPECT_NEAR(state[a.index()], 1.5, 1e-3);
+  EXPECT_NEAR(state[b.index()], 1.5, 1e-3);
+  EXPECT_NEAR(state[c.index()], 1.5, 1e-3);
+}
+
+TEST(Modules, DuplicateNeedsOutputs) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X");
+  EXPECT_THROW(duplicate(net, x, {}), std::invalid_argument);
+}
+
+TEST(Modules, AddCombines) {
+  ReactionNetwork net;
+  const SpeciesId a = net.add_species("A", 1.25);
+  const SpeciesId b = net.add_species("B", 0.5);
+  const SpeciesId z = net.add_species("Z");
+  add_into(net, a, b, z);
+  const auto state = settle(net);
+  EXPECT_NEAR(state[z.index()], 1.75, 1e-3);
+}
+
+TEST(Modules, ScaleByInteger) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 0.75);
+  const SpeciesId y = net.add_species("Y");
+  scale_by_integer(net, x, y, 3);
+  const auto state = settle(net);
+  EXPECT_NEAR(state[y.index()], 2.25, 1e-3);
+}
+
+TEST(Modules, ScaleFactorZeroThrows) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X");
+  const SpeciesId y = net.add_species("Y");
+  EXPECT_THROW(scale_by_integer(net, x, y, 0), std::invalid_argument);
+}
+
+TEST(Modules, HalveDividesByTwo) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 2.0);
+  const SpeciesId y = net.add_species("Y");
+  halve(net, x, y);
+  // The quadratic tail decays slowly; give it time.
+  const auto state = settle(net, 200.0);
+  EXPECT_NEAR(state[y.index()], 1.0, 5e-3);
+}
+
+// Property sweep: y = x * num / 2^halvings for several coefficients.
+struct DyadicCase {
+  double input;
+  std::uint32_t numerator;
+  std::uint32_t halvings;
+};
+
+class DyadicTest : public ::testing::TestWithParam<DyadicCase> {};
+
+TEST_P(DyadicTest, ComputesDyadicScaling) {
+  const DyadicCase& c = GetParam();
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", c.input);
+  const SpeciesId y = net.add_species("Y");
+  scale_dyadic(net, x, y, c.numerator, c.halvings, "sc");
+  const auto state = settle(net, 400.0);
+  const double expected =
+      c.input * c.numerator / static_cast<double>(1u << c.halvings);
+  EXPECT_NEAR(state[y.index()], expected, 0.01 * expected + 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coefficients, DyadicTest,
+    ::testing::Values(DyadicCase{2.0, 1, 1},    // x/2
+                      DyadicCase{2.0, 3, 2},    // 3x/4
+                      DyadicCase{1.0, 5, 0},    // 5x
+                      DyadicCase{4.0, 1, 2},    // x/4
+                      DyadicCase{1.0, 1, 3},    // x/8
+                      DyadicCase{0.5, 7, 3}));  // 7x/8
+
+TEST(Modules, MinTakesSmaller) {
+  ReactionNetwork net;
+  const SpeciesId a = net.add_species("A", 2.0);
+  const SpeciesId b = net.add_species("B", 0.75);
+  const SpeciesId m = net.add_species("M");
+  min_into(net, a, b, m);
+  const auto state = settle(net, 100.0);
+  EXPECT_NEAR(state[m.index()], 0.75, 5e-3);
+  EXPECT_NEAR(state[a.index()], 1.25, 5e-3);  // leftover |a-b|
+  EXPECT_NEAR(state[b.index()], 0.0, 5e-3);
+}
+
+TEST(Modules, AnnihilateLeavesExcess) {
+  ReactionNetwork net;
+  const SpeciesId a = net.add_species("A", 1.0);
+  const SpeciesId b = net.add_species("B", 2.5);
+  annihilate(net, a, b);
+  const auto state = settle(net, 100.0);
+  EXPECT_NEAR(state[a.index()], 0.0, 5e-3);
+  EXPECT_NEAR(state[b.index()], 1.5, 5e-3);
+}
+
+TEST(Modules, SubtractSaturatingPositive) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 2.0);
+  const SpeciesId y = net.add_species("Y", 0.5);
+  const SpeciesId d = net.add_species("D");
+  subtract_saturating(net, x, y, d);
+  const auto state = settle(net, 100.0);
+  EXPECT_NEAR(state[d.index()], 1.5, 5e-3);
+}
+
+TEST(Modules, SubtractSaturatingClampsAtZero) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X", 0.5);
+  const SpeciesId y = net.add_species("Y", 2.0);
+  const SpeciesId d = net.add_species("D");
+  subtract_saturating(net, x, y, d);
+  const auto state = settle(net, 100.0);
+  EXPECT_NEAR(state[d.index()], 0.0, 5e-3);
+}
+
+TEST(Modules, LabelsCarryPrefix) {
+  ReactionNetwork net;
+  const SpeciesId x = net.add_species("X");
+  const SpeciesId y = net.add_species("Y");
+  EmitOptions options;
+  options.label = "ma";
+  transfer(net, x, y, options);
+  EXPECT_EQ(net.reaction(core::ReactionId{0}).label(), "ma.transfer");
+}
+
+TEST(Modules, ComposedPipelineComputesAffineExpression) {
+  // z = (a + b) / 2 + 3 c, all modules chained.
+  ReactionNetwork net;
+  const SpeciesId a = net.add_species("A", 1.0);
+  const SpeciesId b = net.add_species("B", 2.0);
+  const SpeciesId c = net.add_species("C", 0.5);
+  const SpeciesId sum = net.add_species("sum");
+  const SpeciesId half = net.add_species("half");
+  const SpeciesId scaled = net.add_species("scaled");
+  const SpeciesId z = net.add_species("Z");
+  add_into(net, a, b, sum);
+  halve(net, sum, half);
+  scale_by_integer(net, c, scaled, 3);
+  add_into(net, half, scaled, z);
+  const auto state = settle(net, 400.0);
+  EXPECT_NEAR(state[z.index()], 3.0, 0.02);
+}
+
+}  // namespace
+}  // namespace mrsc::modules

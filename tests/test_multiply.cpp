@@ -1,0 +1,119 @@
+#include "modules/multiply.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/ssa.hpp"
+
+namespace mrsc::modules {
+namespace {
+
+using core::ReactionNetwork;
+
+// The iterative modules operate on discrete counts; validate under exact
+// stochastic simulation with a large fast/slow separation (the hazard window
+// at each phase advance shrinks with the ratio).
+sim::SsaOptions ssa_options(std::uint64_t seed) {
+  sim::SsaOptions options;
+  options.t_end = 4000.0;
+  options.omega = 1.0;
+  options.seed = seed;
+  options.record_interval = 50.0;
+  return options;
+}
+
+struct MultiplyCase {
+  std::int64_t x;
+  std::int64_t y;
+};
+
+class MultiplierTest : public ::testing::TestWithParam<MultiplyCase> {};
+
+TEST_P(MultiplierTest, ComputesProductOnCounts) {
+  const auto [x, y] = GetParam();
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const MultiplierHandles handles = build_multiplier(net, "mul");
+  net.set_initial(handles.x, static_cast<double>(x));
+  net.set_initial(handles.y, static_cast<double>(y));
+
+  const sim::SsaResult result = simulate_ssa(net, ssa_options(5));
+  EXPECT_EQ(result.final_counts[handles.z.index()], x * y)
+      << "x=" << x << " y=" << y;
+  // X is preserved (in X or X2 depending on iteration parity).
+  EXPECT_EQ(result.final_counts[handles.x.index()] +
+                result.final_counts[handles.x2.index()],
+            x);
+  // Loop counter fully consumed; token back at idle.
+  EXPECT_EQ(result.final_counts[handles.y.index()], 0);
+  EXPECT_EQ(result.final_counts[handles.token_idle.index()], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallProducts, MultiplierTest,
+                         ::testing::Values(MultiplyCase{3, 4},
+                                           MultiplyCase{1, 1},
+                                           MultiplyCase{5, 2},
+                                           MultiplyCase{2, 5},
+                                           MultiplyCase{7, 3},
+                                           MultiplyCase{4, 4}));
+
+TEST(Multiplier, ZeroTimesAnythingIsZero) {
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const MultiplierHandles handles = build_multiplier(net, "mul");
+  net.set_initial(handles.x, 0.0);
+  net.set_initial(handles.y, 4.0);
+  const sim::SsaResult result = simulate_ssa(net, ssa_options(6));
+  EXPECT_EQ(result.final_counts[handles.z.index()], 0);
+  EXPECT_EQ(result.final_counts[handles.token_idle.index()], 1);
+}
+
+TEST(Multiplier, AnythingTimesZeroIsZero) {
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const MultiplierHandles handles = build_multiplier(net, "mul");
+  net.set_initial(handles.x, 5.0);
+  net.set_initial(handles.y, 0.0);
+  const sim::SsaResult result = simulate_ssa(net, ssa_options(7));
+  EXPECT_EQ(result.final_counts[handles.z.index()], 0);
+  EXPECT_EQ(result.final_counts[handles.x.index()], 5);
+}
+
+TEST(Multiplier, SeededDeterminism) {
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const MultiplierHandles handles = build_multiplier(net, "mul");
+  net.set_initial(handles.x, 3.0);
+  net.set_initial(handles.y, 3.0);
+  const sim::SsaResult a = simulate_ssa(net, ssa_options(9));
+  const sim::SsaResult b = simulate_ssa(net, ssa_options(9));
+  EXPECT_EQ(a.final_counts, b.final_counts);
+}
+
+struct PowerCase {
+  std::int64_t x;
+  std::int64_t k;
+};
+
+class TimesPower2Test : public ::testing::TestWithParam<PowerCase> {};
+
+TEST_P(TimesPower2Test, DoublesKTimes) {
+  const auto [x, k] = GetParam();
+  ReactionNetwork net;
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+  const PowerOfTwoHandles handles = build_times_power2(net, "pw");
+  net.set_initial(handles.x, static_cast<double>(x));
+  net.set_initial(handles.k, static_cast<double>(k));
+  const sim::SsaResult result = simulate_ssa(net, ssa_options(11));
+  const std::int64_t total = result.final_counts[handles.x.index()] +
+                             result.final_counts[handles.x2.index()];
+  EXPECT_EQ(total, x << k) << "x=" << x << " k=" << k;
+  EXPECT_EQ(result.final_counts[handles.token_idle.index()], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPowers, TimesPower2Test,
+                         ::testing::Values(PowerCase{1, 3}, PowerCase{3, 2},
+                                           PowerCase{2, 0}, PowerCase{5, 1},
+                                           PowerCase{1, 5}));
+
+}  // namespace
+}  // namespace mrsc::modules

@@ -1,0 +1,177 @@
+#include "sim/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsc::sim {
+namespace {
+
+using core::SpeciesId;
+
+// Feeds a synthetic waveform to an observer one step at a time.
+void drive(Observer& observer, const std::vector<double>& times,
+           const std::vector<double>& values, SpeciesId species,
+           std::size_t state_size = 1) {
+  std::vector<double> state(state_size, 0.0);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    state[species.index()] = values[k];
+    observer.on_step(times[k], state);
+  }
+}
+
+TEST(EdgeDetector, DetectsRisingAndFalling) {
+  EdgeDetector detector(SpeciesId{0}, 0.2, 0.6);
+  drive(detector, {0, 1, 2, 3, 4, 5, 6},
+        {0.0, 0.3, 0.7, 0.9, 0.3, 0.1, 0.8}, SpeciesId{0});
+  ASSERT_EQ(detector.rising_edges().size(), 2u);
+  EXPECT_DOUBLE_EQ(detector.rising_edges()[0], 2.0);
+  EXPECT_DOUBLE_EQ(detector.rising_edges()[1], 6.0);
+  ASSERT_EQ(detector.falling_edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(detector.falling_edges()[0], 5.0);
+}
+
+TEST(EdgeDetector, HysteresisSuppressesChatter) {
+  EdgeDetector detector(SpeciesId{0}, 0.2, 0.6);
+  // Oscillation within the hysteresis band produces no edges.
+  drive(detector, {0, 1, 2, 3, 4}, {0.0, 0.4, 0.3, 0.5, 0.35}, SpeciesId{0});
+  EXPECT_TRUE(detector.rising_edges().empty());
+  EXPECT_TRUE(detector.falling_edges().empty());
+}
+
+TEST(EdgeDetector, InitialHighStateIsNotAnEdge) {
+  EdgeDetector detector(SpeciesId{0}, 0.2, 0.6);
+  drive(detector, {0, 1}, {0.9, 0.95}, SpeciesId{0});
+  EXPECT_TRUE(detector.rising_edges().empty());
+}
+
+TEST(EdgeDetector, InvalidThresholdsThrow) {
+  EXPECT_THROW(EdgeDetector(SpeciesId{0}, 0.6, 0.2), std::invalid_argument);
+  EXPECT_THROW(EdgeDetector(SpeciesId{0}, 0.5, 0.5), std::invalid_argument);
+}
+
+TEST(ScheduledInjector, InjectsAtTimes) {
+  ScheduledInjector injector({{2.0, SpeciesId{0}, 1.5},
+                              {1.0, SpeciesId{0}, 0.5}});
+  std::vector<double> state = {0.0};
+  injector.on_step(0.5, state);
+  EXPECT_DOUBLE_EQ(state[0], 0.0);
+  injector.on_step(1.1, state);
+  EXPECT_DOUBLE_EQ(state[0], 0.5);  // events are sorted by time
+  injector.on_step(3.0, state);
+  EXPECT_DOUBLE_EQ(state[0], 2.0);
+  EXPECT_EQ(injector.injected_count(), 2u);
+}
+
+TEST(ScheduledInjector, MultipleEventsInOneStep) {
+  ScheduledInjector injector({{1.0, SpeciesId{0}, 1.0},
+                              {1.5, SpeciesId{0}, 1.0}});
+  std::vector<double> state = {0.0};
+  injector.on_step(2.0, state);
+  EXPECT_DOUBLE_EQ(state[0], 2.0);
+}
+
+TEST(EdgeTriggeredInjector, OneSamplePerRisingEdge) {
+  EdgeTriggeredInjector injector(SpeciesId{0}, 0.2, 0.6, SpeciesId{1},
+                                 {10.0, 20.0});
+  std::vector<double> state = {0.0, 0.0};
+  auto step = [&](double t, double clock) {
+    state[0] = clock;
+    injector.on_step(t, state);
+  };
+  step(0, 0.0);
+  step(1, 0.9);  // edge 1 -> inject 10
+  EXPECT_DOUBLE_EQ(state[1], 10.0);
+  step(2, 0.1);
+  step(3, 0.9);  // edge 2 -> inject 20
+  EXPECT_DOUBLE_EQ(state[1], 30.0);
+  step(4, 0.1);
+  step(5, 0.9);  // edge 3 -> stream exhausted, nothing
+  EXPECT_DOUBLE_EQ(state[1], 30.0);
+  EXPECT_EQ(injector.injected_count(), 2u);
+  EXPECT_EQ(injector.injection_times(), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(EdgeTriggeredInjector, SkipsWarmupEdges) {
+  EdgeTriggeredInjector injector(SpeciesId{0}, 0.2, 0.6, SpeciesId{1},
+                                 {5.0}, /*skip_edges=*/1);
+  std::vector<double> state = {0.0, 0.0};
+  auto step = [&](double t, double clock) {
+    state[0] = clock;
+    injector.on_step(t, state);
+  };
+  step(0, 0.0);
+  step(1, 0.9);  // warmup edge: skipped
+  EXPECT_DOUBLE_EQ(state[1], 0.0);
+  step(2, 0.1);
+  step(3, 0.9);  // first counted edge
+  EXPECT_DOUBLE_EQ(state[1], 5.0);
+}
+
+TEST(EdgeTriggeredSampler, SamplesAndClears) {
+  EdgeTriggeredSampler sampler(SpeciesId{0}, 0.2, 0.6, SpeciesId{1},
+                               /*clear_after_read=*/true);
+  std::vector<double> state = {0.0, 7.0};
+  auto step = [&](double t, double clock) {
+    state[0] = clock;
+    sampler.on_step(t, state);
+  };
+  step(0, 0.0);
+  step(1, 0.9);
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.samples()[0], 7.0);
+  EXPECT_DOUBLE_EQ(state[1], 0.0);  // cleared
+  state[1] = 3.0;
+  step(2, 0.1);
+  step(3, 0.9);
+  EXPECT_DOUBLE_EQ(sampler.samples()[1], 3.0);
+}
+
+TEST(EdgeTriggeredSampler, NoClearMode) {
+  EdgeTriggeredSampler sampler(SpeciesId{0}, 0.2, 0.6, SpeciesId{1},
+                               /*clear_after_read=*/false);
+  std::vector<double> state = {0.0, 7.0};
+  state[0] = 0.0;
+  sampler.on_step(0, state);
+  state[0] = 0.9;
+  sampler.on_step(1, state);
+  EXPECT_DOUBLE_EQ(state[1], 7.0);
+}
+
+TEST(SteadyStateDetector, DetectsQuiescence) {
+  SteadyStateDetector detector(1e-3, 1.0);
+  std::vector<double> state = {1.0};
+  detector.on_step(0.0, state);
+  EXPECT_FALSE(detector.reached());
+  // Change quickly: not steady.
+  state[0] = 2.0;
+  detector.on_step(1.5, state);
+  EXPECT_FALSE(detector.reached());
+  // Hold: steady after a window.
+  state[0] = 2.0001;
+  detector.on_step(3.0, state);
+  EXPECT_TRUE(detector.reached());
+  EXPECT_TRUE(detector.should_stop(3.0, state));
+  EXPECT_DOUBLE_EQ(detector.reached_time(), 3.0);
+}
+
+TEST(SteadyStateDetector, InvalidParamsThrow) {
+  EXPECT_THROW(SteadyStateDetector(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(SteadyStateDetector(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(CallbackObserver, ForwardsCalls) {
+  double seen_t = -1.0;
+  CallbackObserver observer(
+      [&](double t, std::span<double> state) {
+        seen_t = t;
+        state[0] += 1.0;
+      });
+  std::vector<double> state = {0.0};
+  observer.on_step(2.5, state);
+  EXPECT_DOUBLE_EQ(seen_t, 2.5);
+  EXPECT_DOUBLE_EQ(state[0], 1.0);
+}
+
+}  // namespace
+}  // namespace mrsc::sim

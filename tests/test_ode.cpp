@@ -1,0 +1,259 @@
+#include "sim/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.hpp"
+
+namespace mrsc::sim {
+namespace {
+
+using core::NetworkBuilder;
+using core::RateCategory;
+using core::ReactionNetwork;
+using core::SpeciesId;
+
+ReactionNetwork decay_network(double k) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", k);
+  return net;
+}
+
+// All three integrators should reproduce A(t) = e^{-k t}.
+class IntegratorTest : public ::testing::TestWithParam<OdeMethod> {};
+
+TEST_P(IntegratorTest, ExponentialDecayMatchesAnalytic) {
+  const double k = 0.7;
+  const ReactionNetwork net = decay_network(k);
+  OdeOptions options;
+  options.method = GetParam();
+  options.t_end = 4.0;
+  options.dt = 1e-3;
+  options.record_interval = 0.5;
+  const OdeResult result = simulate_ode(net, options);
+  const SpeciesId a = *net.find_species("A");
+  for (std::size_t s = 0; s < result.trajectory.sample_count(); ++s) {
+    const double t = result.trajectory.time(s);
+    EXPECT_NEAR(result.trajectory.value(s, a), std::exp(-k * t), 2e-3)
+        << "t=" << t;
+  }
+}
+
+TEST_P(IntegratorTest, MassConservation) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  options.method = GetParam();
+  options.t_end = 3.0;
+  options.dt = 1e-3;
+  const OdeResult result = simulate_ode(net, options);
+  const SpeciesId a = *net.find_species("A");
+  const SpeciesId b = *net.find_species("B");
+  for (std::size_t s = 0; s < result.trajectory.sample_count(); ++s) {
+    EXPECT_NEAR(result.trajectory.value(s, a) + result.trajectory.value(s, b),
+                1.0, 1e-4);
+  }
+}
+
+TEST_P(IntegratorTest, ReversibleReactionReachesEquilibrium) {
+  // A <-> B with k+ = 2, k- = 1 : equilibrium B/A = 2.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", 2.0);
+  b.reaction("B -> A", 1.0);
+  OdeOptions options;
+  options.method = GetParam();
+  options.t_end = 20.0;
+  options.dt = 1e-3;
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_NEAR(result.trajectory.final_value(*net.find_species("A")), 1.0 / 3.0,
+              1e-3);
+  EXPECT_NEAR(result.trajectory.final_value(*net.find_species("B")), 2.0 / 3.0,
+              1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, IntegratorTest,
+                         ::testing::Values(OdeMethod::kRk4Fixed,
+                                           OdeMethod::kDormandPrince45,
+                                           OdeMethod::kBackwardEuler));
+
+TEST(OdeSimulation, ZeroOrderSourceGrowsLinearly) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.reaction("0 -> A", 0.5);
+  OdeOptions options;
+  options.t_end = 4.0;
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_NEAR(result.trajectory.final_value(*net.find_species("A")), 2.0,
+              1e-6);
+}
+
+TEST(OdeSimulation, BimolecularAnnihilationLeavesExcess) {
+  // A + B -> 0 with A0=2, B0=1: final A = 1, B = 0.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 2.0);
+  b.species("B", 1.0);
+  b.reaction("A + B -> 0", 50.0);
+  OdeOptions options;
+  options.t_end = 10.0;
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_NEAR(result.trajectory.final_value(*net.find_species("A")), 1.0,
+              1e-2);
+  EXPECT_NEAR(result.trajectory.final_value(*net.find_species("B")), 0.0,
+              1e-2);
+}
+
+TEST(OdeSimulation, StiffFastSlowSeparation) {
+  // Fast equilibration feeding a slow drain; the adaptive and implicit
+  // integrators must agree.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", RateCategory::kFast);
+  b.reaction("B -> C", RateCategory::kSlow);
+  net.set_rate_policy(core::RatePolicy{1.0, 10000.0});
+
+  OdeOptions adaptive;
+  adaptive.t_end = 2.0;
+  const double c_adaptive =
+      simulate_ode(net, adaptive)
+          .trajectory.final_value(*net.find_species("C"));
+
+  OdeOptions implicit;
+  implicit.method = OdeMethod::kBackwardEuler;
+  implicit.t_end = 2.0;
+  implicit.dt = 1e-3;
+  const double c_implicit =
+      simulate_ode(net, implicit)
+          .trajectory.final_value(*net.find_species("C"));
+
+  const double expected = 1.0 - std::exp(-2.0);  // B -> C dominates
+  EXPECT_NEAR(c_adaptive, expected, 5e-3);
+  EXPECT_NEAR(c_implicit, expected, 5e-3);
+}
+
+TEST(OdeSimulation, RecordIntervalControlsSampleCount) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  options.t_end = 10.0;
+  options.record_interval = 1.0;
+  const OdeResult result = simulate_ode(net, options);
+  // Roughly one sample per unit time plus endpoints.
+  EXPECT_GE(result.trajectory.sample_count(), 10u);
+  EXPECT_LE(result.trajectory.sample_count(), 14u);
+}
+
+TEST(OdeSimulation, RecordEveryStepWhenIntervalZero) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  options.t_end = 1.0;
+  options.record_interval = 0.0;
+  options.method = OdeMethod::kRk4Fixed;
+  options.dt = 0.1;
+  const OdeResult result = simulate_ode(net, options);
+  // t=0 plus ~10 steps (floating-point accumulation may add one residual
+  // step at the end).
+  EXPECT_GE(result.trajectory.sample_count(), 11u);
+  EXPECT_LE(result.trajectory.sample_count(), 12u);
+}
+
+TEST(OdeSimulation, ObserverInjectionChangesState) {
+  const ReactionNetwork net = decay_network(1.0);
+  const SpeciesId a = *net.find_species("A");
+  ScheduledInjector injector({{1.0, a, 5.0}});
+  Observer* observers[] = {&injector};
+  OdeOptions options;
+  options.t_end = 1.2;
+  const OdeResult result = simulate_ode(
+      net, options, net.initial_state(),
+      std::span<Observer* const>(observers, 1));
+  // At t=1 A ~ e^-1 ~ 0.37, injection adds 5.
+  EXPECT_GT(result.trajectory.final_value(a), 4.0);
+}
+
+TEST(OdeSimulation, ObserverCanStopEarly) {
+  const ReactionNetwork net = decay_network(1.0);
+  SteadyStateDetector detector(1e-6, 0.5);
+  Observer* observers[] = {&detector};
+  OdeOptions options;
+  options.t_end = 1000.0;
+  const OdeResult result = simulate_ode(
+      net, options, net.initial_state(),
+      std::span<Observer* const>(observers, 1));
+  EXPECT_TRUE(result.stopped_by_observer);
+  EXPECT_LT(result.end_time, 100.0);
+}
+
+TEST(OdeSimulation, NegativeConcentrationsClamped) {
+  // Aggressive fixed step on a fast decay would overshoot below zero.
+  const ReactionNetwork net = decay_network(100.0);
+  OdeOptions options;
+  options.method = OdeMethod::kRk4Fixed;
+  options.dt = 0.05;
+  options.t_end = 2.0;
+  const OdeResult result = simulate_ode(net, options);
+  for (std::size_t s = 0; s < result.trajectory.sample_count(); ++s) {
+    EXPECT_GE(result.trajectory.value(s, *net.find_species("A")), 0.0);
+  }
+}
+
+TEST(OdeSimulation, InvalidOptionsThrow) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions bad_t;
+  bad_t.t_end = 0.0;
+  EXPECT_THROW((void)simulate_ode(net, bad_t), std::invalid_argument);
+  OdeOptions bad_dt;
+  bad_dt.dt = 0.0;
+  EXPECT_THROW((void)simulate_ode(net, bad_dt), std::invalid_argument);
+}
+
+TEST(OdeSimulation, InitialStateSizeMismatchThrows) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  EXPECT_THROW((void)simulate_ode(net, options, std::vector<double>{1.0, 2.0,
+                                                                    3.0}),
+               std::invalid_argument);
+}
+
+TEST(OdeSimulation, AdaptiveReportsRejectedSteps) {
+  // A stiff-ish system with a loose initial step forces rejections.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", 500.0);
+  OdeOptions options;
+  options.t_end = 1.0;
+  options.dt = 0.5;  // far too big initially
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_GT(result.steps_accepted, 0u);
+  EXPECT_GT(result.steps_rejected, 0u);
+}
+
+TEST(OdeSimulation, StepLimitReported) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  options.method = OdeMethod::kRk4Fixed;
+  options.dt = 1e-4;
+  options.t_end = 100.0;
+  options.max_steps = 50;  // far too few
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_TRUE(result.hit_step_limit);
+  EXPECT_LT(result.end_time, 1.0);
+}
+
+TEST(OdeSimulation, FinalStateRecordedAtTEnd) {
+  const ReactionNetwork net = decay_network(1.0);
+  OdeOptions options;
+  options.t_end = 2.0;
+  options.record_interval = 0.75;
+  const OdeResult result = simulate_ode(net, options);
+  EXPECT_DOUBLE_EQ(result.trajectory.final_time(), result.end_time);
+  EXPECT_NEAR(result.end_time, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mrsc::sim

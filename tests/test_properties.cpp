@@ -1,0 +1,184 @@
+// Cross-cutting property tests on randomly generated networks: invariants
+// that must hold for *any* mass-action system, regardless of structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/conservation.hpp"
+#include "core/io.hpp"
+#include "core/network.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+#include "util/rng.hpp"
+
+namespace mrsc {
+namespace {
+
+using core::RateCategory;
+using core::ReactionNetwork;
+using core::SpeciesId;
+using core::Term;
+
+/// Random network with reactions of order <= 2 and bounded products.
+ReactionNetwork random_network(std::uint64_t seed, bool closed) {
+  util::Rng rng(seed);
+  ReactionNetwork net;
+  const std::size_t n = 3 + rng.uniform_below(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_species("S" + std::to_string(i), rng.uniform(0.1, 2.0));
+  }
+  auto pick = [&] {
+    return SpeciesId{
+        static_cast<SpeciesId::underlying_type>(rng.uniform_below(n))};
+  };
+  const std::size_t reactions = 4 + rng.uniform_below(6);
+  for (std::size_t j = 0; j < reactions; ++j) {
+    std::vector<Term> reactants;
+    std::vector<Term> products;
+    if (closed) {
+      // Mass-preserving shapes: k reactants -> k products, k in {1, 2}.
+      const std::size_t k = 1 + rng.uniform_below(2);
+      for (std::size_t i = 0; i < k; ++i) {
+        reactants.push_back({pick(), 1});
+        products.push_back({pick(), 1});
+      }
+    } else {
+      const std::size_t order = rng.uniform_below(3);
+      for (std::size_t i = 0; i < order; ++i) reactants.push_back({pick(), 1});
+      const std::size_t out = rng.uniform_below(3);
+      for (std::size_t i = 0; i < out; ++i) products.push_back({pick(), 1});
+      if (reactants.empty() && products.empty()) {
+        products.push_back({pick(), 1});
+      }
+    }
+    net.add(std::move(reactants), std::move(products), RateCategory::kCustom,
+            rng.uniform(0.2, 3.0));
+  }
+  return net;
+}
+
+class RandomNetworkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetworkTest, OdeStaysNonNegative) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 7919 + 1,
+                     /*closed=*/false);
+  sim::OdeOptions options;
+  options.t_end = 5.0;
+  options.record_interval = 0.25;
+  const sim::OdeResult run = simulate_ode(net, options);
+  for (std::size_t k = 0; k < run.trajectory.sample_count(); ++k) {
+    for (std::size_t i = 0; i < net.species_count(); ++i) {
+      EXPECT_GE(run.trajectory.value(
+                    k, SpeciesId{static_cast<SpeciesId::underlying_type>(i)}),
+                0.0)
+          << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(RandomNetworkTest, ClosedNetworkConservesTotalMass) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 104729 + 3,
+                     /*closed=*/true);
+  sim::OdeOptions options;
+  options.t_end = 5.0;
+  const sim::OdeResult run = simulate_ode(net, options);
+  double initial_total = 0.0;
+  double final_total = 0.0;
+  const auto initial = net.initial_state();
+  const auto final_state = run.trajectory.final_state();
+  for (std::size_t i = 0; i < net.species_count(); ++i) {
+    initial_total += initial[i];
+    final_total += final_state[i];
+  }
+  EXPECT_NEAR(final_total, initial_total, 1e-5 * initial_total);
+}
+
+TEST_P(RandomNetworkTest, IntegratorsAgree) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 31 + 17,
+                     /*closed=*/false);
+  sim::OdeOptions adaptive;
+  adaptive.t_end = 3.0;
+  sim::OdeOptions fixed;
+  fixed.t_end = 3.0;
+  fixed.method = sim::OdeMethod::kRk4Fixed;
+  fixed.dt = 5e-4;
+  const auto a = simulate_ode(net, adaptive).trajectory;
+  const auto b = simulate_ode(net, fixed).trajectory;
+  for (std::size_t i = 0; i < net.species_count(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    EXPECT_NEAR(a.final_value(id), b.final_value(id),
+                1e-3 + 1e-3 * std::abs(b.final_value(id)))
+        << "species " << i << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomNetworkTest, SerializationRoundTripsExactly) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 13 + 5,
+                     /*closed=*/false);
+  const std::string once = core::serialize_network(net);
+  const std::string twice =
+      core::serialize_network(core::parse_network(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(RandomNetworkTest, SsaMeanTracksOdeOnClosedNetworks) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 271 + 9,
+                     /*closed=*/true);
+  sim::OdeOptions ode;
+  ode.t_end = 2.0;
+  const auto deterministic = simulate_ode(net, ode).trajectory;
+
+  sim::SsaOptions ssa;
+  ssa.t_end = 2.0;
+  ssa.omega = 400.0;
+  std::vector<double> mean(net.species_count(), 0.0);
+  constexpr int kRuns = 12;
+  for (int run = 0; run < kRuns; ++run) {
+    ssa.seed = 3000 + static_cast<std::uint64_t>(run);
+    const auto counts = simulate_ssa(net, ssa).final_counts;
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      mean[i] += static_cast<double>(counts[i]) / ssa.omega / kRuns;
+    }
+  }
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    // Loose bound: 12 runs at omega=400 gives stderr ~ 0.01-0.03.
+    EXPECT_NEAR(mean[i], deterministic.final_value(id), 0.12)
+        << "species " << i << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomNetworkTest, ConservationLawsHoldUnderSsa) {
+  const ReactionNetwork net =
+      random_network(static_cast<std::uint64_t>(GetParam()) * 401 + 2,
+                     /*closed=*/true);
+  const auto laws = analysis::conservation_laws(net);
+  ASSERT_FALSE(laws.empty());
+  sim::SsaOptions ssa;
+  ssa.t_end = 2.0;
+  ssa.omega = 300.0;
+  ssa.seed = 77;
+  const auto result = simulate_ssa(net, ssa);
+  // Conservation must hold exactly in counts (scaled by omega) for integer
+  // laws; allow rounding slack for fractional weights.
+  const auto initial = sim::to_counts(net.initial_state(), ssa.omega);
+  for (const auto& law : laws) {
+    double before = 0.0;
+    double after = 0.0;
+    for (std::size_t i = 0; i < law.size(); ++i) {
+      before += law[i] * static_cast<double>(initial[i]);
+      after += law[i] * static_cast<double>(result.final_counts[i]);
+    }
+    EXPECT_NEAR(after, before, 1e-6 * std::abs(before) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mrsc

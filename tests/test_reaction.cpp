@@ -1,0 +1,76 @@
+#include "core/reaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrsc::core {
+namespace {
+
+TEST(RateCategory, Names) {
+  EXPECT_STREQ(to_string(RateCategory::kCustom), "custom");
+  EXPECT_STREQ(to_string(RateCategory::kSlow), "slow");
+  EXPECT_STREQ(to_string(RateCategory::kFast), "fast");
+}
+
+TEST(RatePolicy, ResolvesCategories) {
+  RatePolicy policy{2.0, 500.0};
+  EXPECT_DOUBLE_EQ(policy.value_of(RateCategory::kSlow, 99.0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.value_of(RateCategory::kFast, 99.0), 500.0);
+  EXPECT_DOUBLE_EQ(policy.value_of(RateCategory::kCustom, 99.0), 99.0);
+}
+
+TEST(Reaction, Order) {
+  // 2A + B -> C has kinetic order 3.
+  Reaction r({{SpeciesId{0}, 2}, {SpeciesId{1}, 1}}, {{SpeciesId{2}, 1}},
+             RateCategory::kFast);
+  EXPECT_EQ(r.order(), 3u);
+}
+
+TEST(Reaction, ZeroOrderSource) {
+  Reaction r({}, {{SpeciesId{0}, 1}}, RateCategory::kSlow);
+  EXPECT_EQ(r.order(), 0u);
+  EXPECT_TRUE(r.reactants().empty());
+}
+
+TEST(Reaction, NetChange) {
+  // 2A + B -> A + 3C : net A = -1, B = -1, C = +3, D = 0.
+  Reaction r({{SpeciesId{0}, 2}, {SpeciesId{1}, 1}},
+             {{SpeciesId{0}, 1}, {SpeciesId{2}, 3}}, RateCategory::kFast);
+  EXPECT_EQ(r.net_change(SpeciesId{0}), -1);
+  EXPECT_EQ(r.net_change(SpeciesId{1}), -1);
+  EXPECT_EQ(r.net_change(SpeciesId{2}), 3);
+  EXPECT_EQ(r.net_change(SpeciesId{3}), 0);
+}
+
+TEST(Reaction, ConsumesProduces) {
+  Reaction r({{SpeciesId{0}, 1}}, {{SpeciesId{1}, 1}}, RateCategory::kSlow);
+  EXPECT_TRUE(r.consumes(SpeciesId{0}));
+  EXPECT_FALSE(r.consumes(SpeciesId{1}));
+  EXPECT_TRUE(r.produces(SpeciesId{1}));
+  EXPECT_FALSE(r.produces(SpeciesId{0}));
+}
+
+TEST(Reaction, CatalystIsBothConsumedAndProduced) {
+  // C + X -> C + Y (catalyzed transfer).
+  Reaction r({{SpeciesId{9}, 1}, {SpeciesId{0}, 1}},
+             {{SpeciesId{9}, 1}, {SpeciesId{1}, 1}}, RateCategory::kSlow);
+  EXPECT_TRUE(r.consumes(SpeciesId{9}));
+  EXPECT_TRUE(r.produces(SpeciesId{9}));
+  EXPECT_EQ(r.net_change(SpeciesId{9}), 0);
+}
+
+TEST(Reaction, RateMultiplierDefaultsToOne) {
+  Reaction r({{SpeciesId{0}, 1}}, {}, RateCategory::kFast);
+  EXPECT_DOUBLE_EQ(r.rate_multiplier(), 1.0);
+  r.set_rate_multiplier(0.25);
+  EXPECT_DOUBLE_EQ(r.rate_multiplier(), 0.25);
+}
+
+TEST(Reaction, LabelRoundTrip) {
+  Reaction r({{SpeciesId{0}, 1}}, {}, RateCategory::kFast, 0.0, "drain");
+  EXPECT_EQ(r.label(), "drain");
+  r.set_label("other");
+  EXPECT_EQ(r.label(), "other");
+}
+
+}  // namespace
+}  // namespace mrsc::core

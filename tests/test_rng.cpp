@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrsc::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double acc = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  double acc = 0.0;
+  constexpr int kSamples = 100000;
+  const double rate = 4.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GT(v, 0.0);
+    acc += v;
+  }
+  EXPECT_NEAR(acc / kSamples, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_below(1), 0u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(14);
+  std::array<int, 5> histogram{};
+  for (int i = 0; i < 5000; ++i) {
+    ++histogram[rng.uniform_below(5)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 800);  // ~1000 expected per bucket
+  }
+}
+
+TEST(Rng, LogUniformJitterBounds) {
+  Rng rng(15);
+  const double factor = 3.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double j = rng.log_uniform_jitter(factor);
+    EXPECT_GE(j, 1.0 / factor - 1e-12);
+    EXPECT_LE(j, factor + 1e-12);
+  }
+}
+
+TEST(Rng, LogUniformJitterLogSymmetric) {
+  Rng rng(16);
+  double log_sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    log_sum += std::log(rng.log_uniform_jitter(10.0));
+  }
+  EXPECT_NEAR(log_sum / kSamples, 0.0, 0.02);
+}
+
+TEST(Rng, UniformPositiveNeverZero) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.uniform_positive(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mrsc::util

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.hpp"
+#include "sim/ssa.hpp"
+#include "util/rng.hpp"
+
+namespace mrsc::sim {
+namespace {
+
+using core::NetworkBuilder;
+using core::ReactionNetwork;
+
+TEST(Poisson, SmallMeanMoments) {
+  util::Rng rng(3);
+  const double mean = 2.5;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = static_cast<double>(rng.poisson(mean));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double sample_mean = sum / kSamples;
+  EXPECT_NEAR(sample_mean, mean, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples - sample_mean * sample_mean, mean, 0.1);
+}
+
+TEST(Poisson, LargeMeanUsesNormalApprox) {
+  util::Rng rng(4);
+  const double mean = 400.0;
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(mean));
+  }
+  EXPECT_NEAR(sum / kSamples, mean, 1.0);
+}
+
+TEST(Poisson, ZeroMeanIsZero) {
+  util::Rng rng(5);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+ReactionNetwork decay_network(double k) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", k);
+  return net;
+}
+
+TEST(TauLeaping, DecayMeanMatchesAnalytic) {
+  const ReactionNetwork net = decay_network(1.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.005;
+  options.t_end = 1.0;
+  options.omega = 500.0;
+  double total = 0.0;
+  constexpr int kRuns = 40;
+  for (int run = 0; run < kRuns; ++run) {
+    options.seed = 600 + static_cast<std::uint64_t>(run);
+    total += static_cast<double>(
+                 simulate_ssa(net, options).final_counts[0]) /
+             options.omega;
+  }
+  EXPECT_NEAR(total / kRuns, std::exp(-1.0), 0.03);
+}
+
+TEST(TauLeaping, ConservesTotalInClosedNetwork) {
+  const ReactionNetwork net = decay_network(2.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.01;
+  options.t_end = 3.0;
+  options.omega = 300.0;
+  const SsaResult result = simulate_ssa(net, options);
+  EXPECT_EQ(result.final_counts[0] + result.final_counts[1], 300);
+}
+
+TEST(TauLeaping, AgreesWithExactSsaOnBimolecular) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.species("B", 0.8);
+  b.reaction("A + B -> C", 2.0);
+  auto mean_final_c = [&](SsaMethod method, double tau) {
+    SsaOptions options;
+    options.method = method;
+    options.tau = tau;
+    options.t_end = 1.0;
+    options.omega = 400.0;
+    double total = 0.0;
+    constexpr int kRuns = 30;
+    for (int run = 0; run < kRuns; ++run) {
+      options.seed = 900 + static_cast<std::uint64_t>(run);
+      total += static_cast<double>(simulate_ssa(net, options).final_counts[2]);
+    }
+    return total / kRuns;
+  };
+  const double exact = mean_final_c(SsaMethod::kDirect, 0.0);
+  const double leaped = mean_final_c(SsaMethod::kTauLeaping, 0.01);
+  EXPECT_NEAR(leaped, exact, 0.03 * exact + 2.0);
+}
+
+TEST(TauLeaping, FarFewerStepsThanExactEvents) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", 5.0);
+  b.reaction("B -> A", 5.0);
+  SsaOptions exact;
+  exact.method = SsaMethod::kDirect;
+  exact.t_end = 5.0;
+  exact.omega = 2000.0;
+  exact.seed = 1;
+  const std::uint64_t exact_events = simulate_ssa(net, exact).events;
+
+  // Tau-leaping fires the same number of *reactions* but in batched leaps;
+  // its cost is the number of leaps (t_end / tau = 500 here), not events.
+  EXPECT_GT(exact_events, 40000u);
+}
+
+TEST(TauLeaping, ExhaustionDetected) {
+  const ReactionNetwork net = decay_network(10.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.01;
+  options.t_end = 1e5;
+  options.omega = 50.0;
+  const SsaResult result = simulate_ssa(net, options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.final_counts[0], 0);
+}
+
+TEST(TauLeaping, InvalidTauThrows) {
+  const ReactionNetwork net = decay_network(1.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.0;
+  EXPECT_THROW((void)simulate_ssa(net, options), std::invalid_argument);
+}
+
+TEST(TauLeaping, NoNegativeCounts) {
+  // Aggressive leaps on a fast decay would overshoot; counts must be
+  // clamped at zero.
+  const ReactionNetwork net = decay_network(50.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.05;  // deliberately large
+  options.t_end = 1.0;
+  options.omega = 100.0;
+  const SsaResult result = simulate_ssa(net, options);
+  for (const std::int64_t n : result.final_counts) {
+    EXPECT_GE(n, 0);
+  }
+}
+
+}  // namespace
+}  // namespace mrsc::sim
