@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_chain.dir/bench_delay_chain.cpp.o"
+  "CMakeFiles/bench_delay_chain.dir/bench_delay_chain.cpp.o.d"
+  "bench_delay_chain"
+  "bench_delay_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

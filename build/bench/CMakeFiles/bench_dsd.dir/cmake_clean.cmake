@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsd.dir/bench_dsd.cpp.o"
+  "CMakeFiles/bench_dsd.dir/bench_dsd.cpp.o.d"
+  "bench_dsd"
+  "bench_dsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

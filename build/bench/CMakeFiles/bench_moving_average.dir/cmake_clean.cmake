@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moving_average.dir/bench_moving_average.cpp.o"
+  "CMakeFiles/bench_moving_average.dir/bench_moving_average.cpp.o.d"
+  "bench_moving_average"
+  "bench_moving_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moving_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

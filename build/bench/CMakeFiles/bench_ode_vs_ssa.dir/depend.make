@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ode_vs_ssa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_robustness.dir/bench_rate_robustness.cpp.o"
+  "CMakeFiles/bench_rate_robustness.dir/bench_rate_robustness.cpp.o.d"
+  "bench_rate_robustness"
+  "bench_rate_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

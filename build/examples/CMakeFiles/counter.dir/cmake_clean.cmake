@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter.dir/counter.cpp.o"
+  "CMakeFiles/counter.dir/counter.cpp.o.d"
+  "counter"
+  "counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsd_compile.dir/dsd_compile.cpp.o"
+  "CMakeFiles/dsd_compile.dir/dsd_compile.cpp.o.d"
+  "dsd_compile"
+  "dsd_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsd_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

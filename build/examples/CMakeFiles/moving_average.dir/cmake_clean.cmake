@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_average.dir/moving_average.cpp.o"
+  "CMakeFiles/moving_average.dir/moving_average.cpp.o.d"
+  "moving_average"
+  "moving_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_filter.dir/signed_filter.cpp.o"
+  "CMakeFiles/signed_filter.dir/signed_filter.cpp.o.d"
+  "signed_filter"
+  "signed_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

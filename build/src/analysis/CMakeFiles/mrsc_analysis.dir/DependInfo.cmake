@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/conservation.cpp" "src/analysis/CMakeFiles/mrsc_analysis.dir/conservation.cpp.o" "gcc" "src/analysis/CMakeFiles/mrsc_analysis.dir/conservation.cpp.o.d"
+  "/root/repo/src/analysis/harness.cpp" "src/analysis/CMakeFiles/mrsc_analysis.dir/harness.cpp.o" "gcc" "src/analysis/CMakeFiles/mrsc_analysis.dir/harness.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/mrsc_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/mrsc_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/plot.cpp" "src/analysis/CMakeFiles/mrsc_analysis.dir/plot.cpp.o" "gcc" "src/analysis/CMakeFiles/mrsc_analysis.dir/plot.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/mrsc_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/mrsc_analysis.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mrsc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/mrsc_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mrsc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/mrsc_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/mrsc_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

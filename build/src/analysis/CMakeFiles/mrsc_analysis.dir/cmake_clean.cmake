@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_analysis.dir/conservation.cpp.o"
+  "CMakeFiles/mrsc_analysis.dir/conservation.cpp.o.d"
+  "CMakeFiles/mrsc_analysis.dir/harness.cpp.o"
+  "CMakeFiles/mrsc_analysis.dir/harness.cpp.o.d"
+  "CMakeFiles/mrsc_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/mrsc_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/mrsc_analysis.dir/plot.cpp.o"
+  "CMakeFiles/mrsc_analysis.dir/plot.cpp.o.d"
+  "CMakeFiles/mrsc_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/mrsc_analysis.dir/sweep.cpp.o.d"
+  "libmrsc_analysis.a"
+  "libmrsc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_async.dir/chain.cpp.o"
+  "CMakeFiles/mrsc_async.dir/chain.cpp.o.d"
+  "CMakeFiles/mrsc_async.dir/circuit.cpp.o"
+  "CMakeFiles/mrsc_async.dir/circuit.cpp.o.d"
+  "libmrsc_async.a"
+  "libmrsc_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

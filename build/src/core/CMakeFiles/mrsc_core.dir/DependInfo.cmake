@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/mrsc_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/mrsc_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/mrsc_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/mrsc_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/mrsc_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/mrsc_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/reaction.cpp" "src/core/CMakeFiles/mrsc_core.dir/reaction.cpp.o" "gcc" "src/core/CMakeFiles/mrsc_core.dir/reaction.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/mrsc_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/mrsc_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_core.dir/builder.cpp.o"
+  "CMakeFiles/mrsc_core.dir/builder.cpp.o.d"
+  "CMakeFiles/mrsc_core.dir/io.cpp.o"
+  "CMakeFiles/mrsc_core.dir/io.cpp.o.d"
+  "CMakeFiles/mrsc_core.dir/network.cpp.o"
+  "CMakeFiles/mrsc_core.dir/network.cpp.o.d"
+  "CMakeFiles/mrsc_core.dir/reaction.cpp.o"
+  "CMakeFiles/mrsc_core.dir/reaction.cpp.o.d"
+  "CMakeFiles/mrsc_core.dir/transform.cpp.o"
+  "CMakeFiles/mrsc_core.dir/transform.cpp.o.d"
+  "libmrsc_core.a"
+  "libmrsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

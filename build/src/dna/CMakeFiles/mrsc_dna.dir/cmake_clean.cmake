@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_dna.dir/dsd.cpp.o"
+  "CMakeFiles/mrsc_dna.dir/dsd.cpp.o.d"
+  "libmrsc_dna.a"
+  "libmrsc_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

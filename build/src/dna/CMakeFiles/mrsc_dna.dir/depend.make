@@ -1,0 +1,2 @@
+# Empty dependencies file for mrsc_dna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/counter.cpp" "src/dsp/CMakeFiles/mrsc_dsp.dir/counter.cpp.o" "gcc" "src/dsp/CMakeFiles/mrsc_dsp.dir/counter.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/mrsc_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/mrsc_dsp.dir/filters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mrsc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/mrsc_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_dsp.dir/counter.cpp.o"
+  "CMakeFiles/mrsc_dsp.dir/counter.cpp.o.d"
+  "CMakeFiles/mrsc_dsp.dir/filters.cpp.o"
+  "CMakeFiles/mrsc_dsp.dir/filters.cpp.o.d"
+  "libmrsc_dsp.a"
+  "libmrsc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrsc_dsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/mrsc_fsm.dir/fsm.cpp.o.d"
+  "libmrsc_fsm.a"
+  "libmrsc_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_logic.dir/netlist.cpp.o"
+  "CMakeFiles/mrsc_logic.dir/netlist.cpp.o.d"
+  "libmrsc_logic.a"
+  "libmrsc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrsc_logic.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/combinational.cpp" "src/modules/CMakeFiles/mrsc_modules.dir/combinational.cpp.o" "gcc" "src/modules/CMakeFiles/mrsc_modules.dir/combinational.cpp.o.d"
+  "/root/repo/src/modules/compare.cpp" "src/modules/CMakeFiles/mrsc_modules.dir/compare.cpp.o" "gcc" "src/modules/CMakeFiles/mrsc_modules.dir/compare.cpp.o.d"
+  "/root/repo/src/modules/multiply.cpp" "src/modules/CMakeFiles/mrsc_modules.dir/multiply.cpp.o" "gcc" "src/modules/CMakeFiles/mrsc_modules.dir/multiply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

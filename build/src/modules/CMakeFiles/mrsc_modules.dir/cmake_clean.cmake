@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_modules.dir/combinational.cpp.o"
+  "CMakeFiles/mrsc_modules.dir/combinational.cpp.o.d"
+  "CMakeFiles/mrsc_modules.dir/compare.cpp.o"
+  "CMakeFiles/mrsc_modules.dir/compare.cpp.o.d"
+  "CMakeFiles/mrsc_modules.dir/multiply.cpp.o"
+  "CMakeFiles/mrsc_modules.dir/multiply.cpp.o.d"
+  "libmrsc_modules.a"
+  "libmrsc_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/mass_action.cpp" "src/sim/CMakeFiles/mrsc_sim.dir/mass_action.cpp.o" "gcc" "src/sim/CMakeFiles/mrsc_sim.dir/mass_action.cpp.o.d"
+  "/root/repo/src/sim/observer.cpp" "src/sim/CMakeFiles/mrsc_sim.dir/observer.cpp.o" "gcc" "src/sim/CMakeFiles/mrsc_sim.dir/observer.cpp.o.d"
+  "/root/repo/src/sim/ode.cpp" "src/sim/CMakeFiles/mrsc_sim.dir/ode.cpp.o" "gcc" "src/sim/CMakeFiles/mrsc_sim.dir/ode.cpp.o.d"
+  "/root/repo/src/sim/ssa.cpp" "src/sim/CMakeFiles/mrsc_sim.dir/ssa.cpp.o" "gcc" "src/sim/CMakeFiles/mrsc_sim.dir/ssa.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/sim/CMakeFiles/mrsc_sim.dir/trajectory.cpp.o" "gcc" "src/sim/CMakeFiles/mrsc_sim.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_sim.dir/mass_action.cpp.o"
+  "CMakeFiles/mrsc_sim.dir/mass_action.cpp.o.d"
+  "CMakeFiles/mrsc_sim.dir/observer.cpp.o"
+  "CMakeFiles/mrsc_sim.dir/observer.cpp.o.d"
+  "CMakeFiles/mrsc_sim.dir/ode.cpp.o"
+  "CMakeFiles/mrsc_sim.dir/ode.cpp.o.d"
+  "CMakeFiles/mrsc_sim.dir/ssa.cpp.o"
+  "CMakeFiles/mrsc_sim.dir/ssa.cpp.o.d"
+  "CMakeFiles/mrsc_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/mrsc_sim.dir/trajectory.cpp.o.d"
+  "libmrsc_sim.a"
+  "libmrsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/circuit.cpp" "src/sync/CMakeFiles/mrsc_sync.dir/circuit.cpp.o" "gcc" "src/sync/CMakeFiles/mrsc_sync.dir/circuit.cpp.o.d"
+  "/root/repo/src/sync/clock.cpp" "src/sync/CMakeFiles/mrsc_sync.dir/clock.cpp.o" "gcc" "src/sync/CMakeFiles/mrsc_sync.dir/clock.cpp.o.d"
+  "/root/repo/src/sync/dual_rail.cpp" "src/sync/CMakeFiles/mrsc_sync.dir/dual_rail.cpp.o" "gcc" "src/sync/CMakeFiles/mrsc_sync.dir/dual_rail.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/mrsc_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

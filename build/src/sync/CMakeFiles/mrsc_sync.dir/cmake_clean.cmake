@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_sync.dir/circuit.cpp.o"
+  "CMakeFiles/mrsc_sync.dir/circuit.cpp.o.d"
+  "CMakeFiles/mrsc_sync.dir/clock.cpp.o"
+  "CMakeFiles/mrsc_sync.dir/clock.cpp.o.d"
+  "CMakeFiles/mrsc_sync.dir/dual_rail.cpp.o"
+  "CMakeFiles/mrsc_sync.dir/dual_rail.cpp.o.d"
+  "libmrsc_sync.a"
+  "libmrsc_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

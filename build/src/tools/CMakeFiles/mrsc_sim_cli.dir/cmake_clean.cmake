@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_sim_cli.dir/mrsc_sim.cpp.o"
+  "CMakeFiles/mrsc_sim_cli.dir/mrsc_sim.cpp.o.d"
+  "mrsc_sim"
+  "mrsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

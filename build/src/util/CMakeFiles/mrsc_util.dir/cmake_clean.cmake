@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsc_util.dir/matrix.cpp.o"
+  "CMakeFiles/mrsc_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/mrsc_util.dir/rng.cpp.o"
+  "CMakeFiles/mrsc_util.dir/rng.cpp.o.d"
+  "libmrsc_util.a"
+  "libmrsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

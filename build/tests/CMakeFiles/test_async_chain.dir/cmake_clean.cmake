@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_chain.dir/test_async_chain.cpp.o"
+  "CMakeFiles/test_async_chain.dir/test_async_chain.cpp.o.d"
+  "test_async_chain"
+  "test_async_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

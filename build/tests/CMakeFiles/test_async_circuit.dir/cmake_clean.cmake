@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_circuit.dir/test_async_circuit.cpp.o"
+  "CMakeFiles/test_async_circuit.dir/test_async_circuit.cpp.o.d"
+  "test_async_circuit"
+  "test_async_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mrsc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/mrsc_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mrsc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/mrsc_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mrsc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/mrsc_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mrsc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/mrsc_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

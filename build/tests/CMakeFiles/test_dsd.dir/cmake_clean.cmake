@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsd.dir/test_dsd.cpp.o"
+  "CMakeFiles/test_dsd.dir/test_dsd.cpp.o.d"
+  "test_dsd"
+  "test_dsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

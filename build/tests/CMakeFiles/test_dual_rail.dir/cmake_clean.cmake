@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_rail.dir/test_dual_rail.cpp.o"
+  "CMakeFiles/test_dual_rail.dir/test_dual_rail.cpp.o.d"
+  "test_dual_rail"
+  "test_dual_rail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_rail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

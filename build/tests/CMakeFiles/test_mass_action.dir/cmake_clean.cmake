@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mass_action.dir/test_mass_action.cpp.o"
+  "CMakeFiles/test_mass_action.dir/test_mass_action.cpp.o.d"
+  "test_mass_action"
+  "test_mass_action.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mass_action.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiply.dir/test_multiply.cpp.o"
+  "CMakeFiles/test_multiply.dir/test_multiply.cpp.o.d"
+  "test_multiply"
+  "test_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
