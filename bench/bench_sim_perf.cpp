@@ -6,9 +6,16 @@
 // in for the authors' testbed characterization.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "async/chain.hpp"
 #include "core/network.hpp"
 #include "dsp/filters.hpp"
+#include "runtime/ensemble.hpp"
 #include "sim/mass_action.hpp"
 #include "sim/ode.hpp"
 #include "sim/ssa.hpp"
@@ -135,6 +142,100 @@ void BM_CompileMovingAverage(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileMovingAverage);
 
+// Multi-worker SSA ensemble through the batch runtime. Every worker count
+// runs the identical seed set (stream-derived from base_seed), so the work is
+// constant and the scaling is pure scheduling.
+sim::SsaOptions ensemble_ssa_options() {
+  sim::SsaOptions ssa;
+  ssa.t_end = 10.0;
+  ssa.omega = 200.0;
+  ssa.record_interval = 1.0;
+  ssa.method = sim::SsaMethod::kNextReaction;
+  return ssa;
+}
+
+void BM_SsaEnsemble(benchmark::State& state) {
+  const core::ReactionNetwork net = chain_network(2);
+  runtime::EnsembleOptions options;
+  options.replicates = 32;
+  options.base_seed = 1;
+  options.batch.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t ok = 0;
+  for (auto _ : state) {
+    const runtime::EnsembleResult result =
+        runtime::run_ssa_ensemble(net, ensemble_ssa_options(), options);
+    ok = result.ok;
+    benchmark::DoNotOptimize(result.final_stats.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(options.replicates));
+  state.counters["ok"] = static_cast<double>(ok);
+}
+BENCHMARK(BM_SsaEnsemble)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Measures a 64-replicate ensemble at 1/2/4/8 workers and writes
+/// BENCH_runtime.json (path overridable via MRSC_BENCH_RUNTIME_JSON), so the
+/// perf trajectory of the batch runtime has a tracked baseline.
+void write_runtime_baseline() {
+  const char* path_env = std::getenv("MRSC_BENCH_RUNTIME_JSON");
+  const std::string path = path_env ? path_env : "BENCH_runtime.json";
+  const core::ReactionNetwork net = chain_network(2);
+
+  std::string json = "{\n  \"benchmark\": \"ssa_ensemble_64\",\n"
+                     "  \"replicates\": 64,\n  \"points\": [\n";
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  bool first = true;
+  std::printf("\nbatch runtime baseline (64-replicate SSA ensemble):\n");
+  std::printf("  %-8s %-12s %-12s %s\n", "workers", "wall [s]", "jobs/sec",
+              "speedup");
+  double serial_wall = 0.0;
+  for (const std::size_t workers : worker_counts) {
+    runtime::EnsembleOptions options;
+    options.replicates = 64;
+    options.base_seed = 1;
+    options.batch.threads = workers;
+    const auto start = std::chrono::steady_clock::now();
+    const runtime::EnsembleResult result =
+        runtime::run_ssa_ensemble(net, ensemble_ssa_options(), options);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (workers == 1) serial_wall = wall;
+    const double throughput =
+        static_cast<double>(options.replicates) / wall;
+    std::printf("  %-8zu %-12.3f %-12.1f %.2fx  (%zu ok)\n", workers, wall,
+                throughput, serial_wall / wall, result.ok);
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer,
+                  "%s    {\"workers\": %zu, \"wall_seconds\": %.6f, "
+                  "\"jobs_per_sec\": %.3f, \"ok\": %zu}",
+                  first ? "" : ",\n", workers, wall, throughput, result.ok);
+    json += buffer;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  std::ofstream out(path);
+  if (out) {
+    out << json;
+    std::printf("baseline written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_runtime_baseline();
+  return 0;
+}

@@ -127,6 +127,22 @@ double mean_edge_spacing(const std::vector<double>& edges) {
          static_cast<double>(edges.size() - 1);
 }
 
+/// Error text for a run that ended before delivering all its outputs. When
+/// the batch runtime's abort hook (deadline/cancellation, set on
+/// ClockedRunOptions::ode.abort) stopped the integrator, say so instead of
+/// blaming t_end.
+std::string incomplete_run_error(const char* function, std::size_t got,
+                                 std::size_t wanted, const char* noun,
+                                 const sim::OdeResult& ode) {
+  std::string message = std::string(function) + ": simulation " +
+                        (ode.aborted ? "aborted by deadline/cancellation"
+                                     : "ended") +
+                        " after " + std::to_string(got) + "/" +
+                        std::to_string(wanted) + " " + noun;
+  if (!ode.aborted) message += "; increase OdeOptions::t_end";
+  return message;
+}
+
 }  // namespace
 
 double suggest_t_end(const sync::ClockSpec& clock_spec,
@@ -180,10 +196,9 @@ ClockedRunResult run_clocked_circuit(const core::ReactionNetwork& network,
   result.input_times = injector.injection_times();
   result.clock_period = mean_edge_spacing(result.output_times);
   if (result.outputs.size() < wanted) {
-    throw std::runtime_error(
-        "run_clocked_circuit: simulation ended after " +
-        std::to_string(result.outputs.size()) + "/" + std::to_string(wanted) +
-        " outputs; increase OdeOptions::t_end");
+    throw std::runtime_error(incomplete_run_error(
+        "run_clocked_circuit", result.outputs.size(), wanted, "outputs",
+        result.ode));
   }
   return result;
 }
@@ -225,10 +240,9 @@ ClockedRunResult run_async_circuit(const core::ReactionNetwork& network,
   result.input_times = injector.injection_times();
   result.clock_period = mean_edge_spacing(result.output_times);
   if (result.outputs.size() < wanted) {
-    throw std::runtime_error(
-        "run_async_circuit: simulation ended after " +
-        std::to_string(result.outputs.size()) + "/" + std::to_string(wanted) +
-        " outputs; increase OdeOptions::t_end");
+    throw std::runtime_error(incomplete_run_error(
+        "run_async_circuit", result.outputs.size(), wanted, "outputs",
+        result.ode));
   }
   return result;
 }
@@ -286,11 +300,9 @@ MultiRunResult run_clocked_circuit_multi(
       std::span<sim::Observer* const>(observers.data(), observers.size()));
   for (std::size_t i = 0; i < out_ports.size(); ++i) {
     if (samplers[i]->samples().size() < cycles) {
-      throw std::runtime_error(
-          "run_clocked_circuit_multi: port '" + out_ports[i] +
-          "' delivered " + std::to_string(samplers[i]->samples().size()) +
-          "/" + std::to_string(cycles) +
-          " outputs; increase OdeOptions::t_end");
+      throw std::runtime_error(incomplete_run_error(
+          ("run_clocked_circuit_multi: port '" + out_ports[i] + "'").c_str(),
+          samplers[i]->samples().size(), cycles, "outputs", result.ode));
     }
     result.outputs.emplace(out_ports[i], samplers[i]->samples());
   }
@@ -348,10 +360,9 @@ CounterRunResult run_counter(const core::ReactionNetwork& network,
   result.values = probe.values();
   result.read_times = probe.times();
   if (result.values.size() < increments) {
-    throw std::runtime_error(
-        "run_counter: simulation ended after " +
-        std::to_string(result.values.size()) + "/" +
-        std::to_string(increments) + " reads; increase OdeOptions::t_end");
+    throw std::runtime_error(incomplete_run_error(
+        "run_counter", result.values.size(), increments, "reads",
+        result.ode));
   }
   return result;
 }
@@ -383,10 +394,8 @@ FsmRunResult run_fsm(const core::ReactionNetwork& network,
   result.outputs = probe.outputs();
   result.read_times = probe.read_times();
   if (result.states.size() < wanted) {
-    throw std::runtime_error(
-        "run_fsm: simulation ended after " +
-        std::to_string(result.states.size()) + "/" + std::to_string(wanted) +
-        " steps; increase OdeOptions::t_end");
+    throw std::runtime_error(incomplete_run_error(
+        "run_fsm", result.states.size(), wanted, "steps", result.ode));
   }
   return result;
 }

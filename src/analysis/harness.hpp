@@ -24,7 +24,11 @@ namespace mrsc::analysis {
 
 struct ClockedRunOptions {
   sim::OdeOptions ode;  ///< t_end is treated as an upper bound; the run
-                        ///< stops early once all outputs are sampled.
+                        ///< stops early once all outputs are sampled. Set
+                        ///< `ode.abort` (the batch runtime does) to give the
+                        ///< run a deadline/cancellation hook; an aborted run
+                        ///< throws with an "aborted" message rather than
+                        ///< "increase t_end".
   /// Edge-detector hysteresis thresholds, as fractions of the clock token.
   double threshold_low = 0.2;
   double threshold_high = 0.6;

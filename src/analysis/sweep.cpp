@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "runtime/batch.hpp"
+
 namespace mrsc::analysis {
 
 void apply_rate_jitter(core::ReactionNetwork& network, double factor,
@@ -29,6 +31,8 @@ std::vector<SweepPoint> run_rate_sweep(
     const RateSweepConfig& config,
     const std::function<double(const core::RatePolicy&, double, std::uint64_t)>&
         experiment) {
+  // Lay the whole grid out first, seeds included, so that execution order
+  // (and therefore worker count) cannot influence any point's inputs.
   std::vector<SweepPoint> points;
   std::uint64_t seed = config.base_seed;
   for (const double ratio : config.ratios) {
@@ -37,17 +41,22 @@ std::vector<SweepPoint> run_rate_sweep(
       point.ratio = ratio;
       point.jitter_factor = jitter;
       point.seed = seed++;
-      core::RatePolicy policy;
-      policy.k_slow = config.k_slow;
-      policy.k_fast = ratio * config.k_slow;
-      try {
-        point.error = experiment(policy, jitter, point.seed);
-      } catch (const std::exception&) {
-        point.failed = true;
-      }
       points.push_back(point);
     }
   }
+
+  runtime::BatchRunner runner({.threads = config.threads});
+  runner.for_each_index(points.size(), [&](std::size_t i) {
+    SweepPoint& point = points[i];
+    core::RatePolicy policy;
+    policy.k_slow = config.k_slow;
+    policy.k_fast = point.ratio * config.k_slow;
+    try {
+      point.error = experiment(policy, point.jitter_factor, point.seed);
+    } catch (const std::exception&) {
+      point.failed = true;
+    }
+  });
   return points;
 }
 

@@ -39,10 +39,20 @@ struct RateSweepConfig {
   std::vector<double> jitter_factors = {1.0};
   std::uint64_t base_seed = 42;
   double k_slow = 1.0;  ///< held fixed; k_fast = ratio * k_slow
+
+  /// Worker threads for the sweep (executed through runtime::BatchRunner).
+  /// 1 keeps the historical serial path on the calling thread; 0 selects the
+  /// hardware concurrency. Each grid point's seed is fixed up front
+  /// (base_seed + flat row-major index), so results are bitwise identical
+  /// for every thread count.
+  std::size_t threads = 1;
 };
 
 /// Runs `experiment(policy, jitter_factor, seed)` over the grid; the
 /// experiment returns its error metric (and may throw to mark failure).
+/// With `config.threads != 1` the experiment callback is invoked
+/// concurrently and must be thread-safe (build a fresh network per call, as
+/// all in-repo experiments do).
 [[nodiscard]] std::vector<SweepPoint> run_rate_sweep(
     const RateSweepConfig& config,
     const std::function<double(const core::RatePolicy&, double jitter_factor,

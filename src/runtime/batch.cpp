@@ -1,0 +1,145 @@
+#include "runtime/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace mrsc::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kTimeout:
+      return "timeout";
+    case JobStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {
+  if (options_.threads == 0) {
+    options_.threads = ThreadPool::default_worker_count();
+  }
+}
+
+JobResult BatchRunner::execute(const SimJob& job) const {
+  JobResult result;
+  result.label = job.label;
+  if (job.network == nullptr) {
+    result.status = JobStatus::kFailed;
+    result.error = "SimJob has no network";
+    return result;
+  }
+  if (cancel_requested()) {
+    result.status = JobStatus::kCancelled;
+    return result;
+  }
+
+  const Clock::time_point start = Clock::now();
+  const bool has_deadline = options_.timeout_seconds > 0.0;
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options_.timeout_seconds));
+  // Shared by both steppers: stop on cancel or (if armed) on the deadline.
+  auto abort_hook = [this, has_deadline, deadline] {
+    return cancel_requested() || (has_deadline && Clock::now() >= deadline);
+  };
+
+  bool aborted = false;
+  try {
+    if (job.kind == SimKind::kOde) {
+      sim::OdeOptions ode = job.ode;
+      ode.abort = abort_hook;
+      std::vector<double> initial =
+          job.initial.empty() ? job.network->initial_state() : job.initial;
+      sim::OdeResult run =
+          sim::simulate_ode(*job.network, ode, std::move(initial));
+      aborted = run.aborted;
+      result.end_time = run.end_time;
+      result.ode_steps = run.steps_accepted;
+      const std::span<const double> final = run.trajectory.final_state();
+      result.final_state.assign(final.begin(), final.end());
+      if (options_.keep_trajectories) {
+        result.trajectory = std::move(run.trajectory);
+      }
+    } else {
+      sim::SsaOptions ssa = job.ssa;
+      ssa.abort = abort_hook;
+      sim::SsaResult run = sim::simulate_ssa(*job.network, ssa, job.initial);
+      aborted = run.aborted;
+      result.end_time = run.end_time;
+      result.ssa_events = run.events;
+      result.final_state.resize(run.final_counts.size());
+      for (std::size_t i = 0; i < run.final_counts.size(); ++i) {
+        result.final_state[i] =
+            static_cast<double>(run.final_counts[i]) / ssa.omega;
+      }
+      if (options_.keep_trajectories) {
+        result.trajectory = std::move(run.trajectory);
+      }
+    }
+  } catch (const std::exception& error) {
+    result.status = JobStatus::kFailed;
+    result.error = error.what();
+  }
+  result.wall_seconds = seconds_since(start);
+  if (aborted) {
+    result.status = cancel_requested() ? JobStatus::kCancelled
+                                       : JobStatus::kTimeout;
+  }
+  return result;
+}
+
+std::vector<JobResult> BatchRunner::run(std::span<const SimJob> jobs) {
+  std::vector<JobResult> results(jobs.size());
+  for_each_index(jobs.size(),
+                 [&](std::size_t i) { results[i] = execute(jobs[i]); });
+  return results;
+}
+
+void BatchRunner::for_each_index(std::size_t count,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  {
+    ThreadPool pool(std::min(options_.threads, count));
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mrsc::runtime

@@ -1,0 +1,115 @@
+// Batch execution of simulation jobs across a worker pool.
+//
+// The paper's validation workload is embarrassingly parallel: robustness
+// claims are backed by re-running the same network under swept rate ratios,
+// jittered rate constants, and many SSA replicates. `BatchRunner` is the
+// substrate for all of that: it fans a vector of `SimJob`s out across a
+// `ThreadPool` and collects one `JobResult` per job, indexed like the input.
+//
+// Determinism contract: a job's result is a pure function of the job
+// description (network, options, seed). The runner never reorders seeds or
+// shares generator state between jobs, so an 8-worker run is bitwise
+// identical to a 1-worker run — scheduling only changes wall time. Derive
+// per-job seeds with `util::Rng::stream_seed(base_seed, index)`.
+//
+// Cancellation contract: `cancel()` (any thread) and per-job deadlines are
+// cooperative. They are plumbed into the ODE/SSA steppers through the
+// `abort` hook on their options; an in-flight job stops at the next poll
+// point and reports kCancelled/kTimeout, jobs not yet started report
+// kCancelled without running. Jobs that finish before the deadline are never
+// retroactively failed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+#include "sim/trajectory.hpp"
+
+namespace mrsc::runtime {
+
+enum class SimKind : std::uint8_t { kOde, kSsa };
+
+/// One unit of work: a network simulated with one method and one seed.
+struct SimJob {
+  /// Non-owning; must outlive the `BatchRunner::run` call. Jobs may share a
+  /// network — the steppers compile and mutate only private state.
+  const core::ReactionNetwork* network = nullptr;
+  SimKind kind = SimKind::kSsa;
+  sim::OdeOptions ode;  ///< used when kind == kOde
+  sim::SsaOptions ssa;  ///< used when kind == kSsa (including its seed)
+  /// Initial concentrations; empty uses the network defaults.
+  std::vector<double> initial;
+  std::string label;  ///< free-form tag echoed into the result
+};
+
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kFailed,     ///< the stepper threw; see `error`
+  kTimeout,    ///< the per-job deadline fired
+  kCancelled,  ///< BatchRunner::cancel() stopped or skipped the job
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::kOk;
+  std::string label;
+  std::string error;         ///< failure reason when status == kFailed
+  double wall_seconds = 0.0;  ///< this job's execution time
+  double end_time = 0.0;      ///< simulated time reached
+  std::uint64_t ssa_events = 0;
+  std::size_t ode_steps = 0;
+  /// Final concentrations (SSA counts are divided by omega).
+  std::vector<double> final_state;
+  /// Full trajectory; only kept when BatchOptions::keep_trajectories is set
+  /// (ensembles of thousands of replicates would otherwise exhaust memory).
+  sim::Trajectory trajectory;
+};
+
+[[nodiscard]] const char* to_string(JobStatus status);
+
+struct BatchOptions {
+  std::size_t threads = 1;      ///< 0 selects the hardware concurrency
+  double timeout_seconds = 0.0;  ///< per-job deadline; 0 disables
+  bool keep_trajectories = false;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Executes every job and returns results in job order. `threads == 1`
+  /// runs serially on the calling thread (no pool, no locks).
+  [[nodiscard]] std::vector<JobResult> run(std::span<const SimJob> jobs);
+
+  /// Deterministic parallel-for over `count` indices: `fn(i)` runs exactly
+  /// once per index, distributed over the pool (or inline when threads == 1).
+  /// The first exception thrown by `fn` is rethrown on the calling thread
+  /// after all indices finish. The sweep layer maps grid points through this.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// Requests cooperative cancellation of the current/next `run`. Safe to
+  /// call from any thread (e.g. a signal handler thread or a watchdog).
+  void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the runner after a cancelled run.
+  void reset_cancel() { cancel_.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+
+ private:
+  JobResult execute(const SimJob& job) const;
+
+  BatchOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace mrsc::runtime

@@ -45,6 +45,10 @@ class RunContext {
         return false;
       }
     }
+    if (options_.abort && options_.abort()) {
+      aborted_ = true;
+      return false;
+    }
     return true;
   }
 
@@ -60,6 +64,7 @@ class RunContext {
   }
 
   [[nodiscard]] bool stopped_by_observer() const { return stopped_; }
+  [[nodiscard]] bool aborted() const { return aborted_; }
   [[nodiscard]] Trajectory take_trajectory() { return std::move(trajectory_); }
 
  private:
@@ -68,6 +73,7 @@ class RunContext {
   Trajectory trajectory_;
   double next_record_ = 0.0;
   bool stopped_ = false;
+  bool aborted_ = false;
 };
 
 OdeResult run_rk4(const MassActionSystem& system, const OdeOptions& options,
@@ -98,6 +104,7 @@ OdeResult run_rk4(const MassActionSystem& system, const OdeOptions& options,
   result.hit_step_limit =
       result.steps_accepted >= options.max_steps && t < options.t_end;
   result.stopped_by_observer = ctx.stopped_by_observer();
+  result.aborted = ctx.aborted();
   ctx.record_final(t, x);
   result.trajectory = ctx.take_trajectory();
   result.end_time = t;
@@ -193,6 +200,7 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
   result.hit_step_limit =
       result.steps_accepted >= options.max_steps && t < options.t_end;
   result.stopped_by_observer = ctx.stopped_by_observer();
+  result.aborted = ctx.aborted();
   ctx.record_final(t, x);
   result.trajectory = ctx.take_trajectory();
   result.end_time = t;
@@ -253,6 +261,7 @@ OdeResult run_backward_euler(const MassActionSystem& system,
   result.hit_step_limit =
       result.steps_accepted >= options.max_steps && t < options.t_end;
   result.stopped_by_observer = ctx.stopped_by_observer();
+  result.aborted = ctx.aborted();
   ctx.record_final(t, x);
   result.trajectory = ctx.take_trajectory();
   result.end_time = t;

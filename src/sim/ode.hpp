@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct OdeOptions {
   // Newton controls for kBackwardEuler.
   std::uint32_t newton_max_iters = 12;
   double newton_tol = 1e-10;
+
+  /// Cooperative cancellation hook, polled after every accepted step. When it
+  /// returns true the run stops and the result carries `aborted = true`. The
+  /// batch runtime uses this for deadlines and cancel requests; the callback
+  /// must be cheap and thread-safe if the options are shared across jobs.
+  std::function<bool()> abort;
 };
 
 struct OdeResult {
@@ -61,6 +68,7 @@ struct OdeResult {
   std::size_t steps_rejected = 0;
   bool stopped_by_observer = false;
   bool hit_step_limit = false;
+  bool aborted = false;  ///< OdeOptions::abort requested an early stop
   double end_time = 0.0;
 };
 

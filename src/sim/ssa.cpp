@@ -13,6 +13,15 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
+/// True when the cancellation hook requests a stop. Polled on a stride of
+/// `abort_check_events` so the per-event hot path stays untaxed.
+bool abort_due(const SsaOptions& options, std::uint64_t events) {
+  if (!options.abort) return false;
+  const std::uint64_t stride = std::max<std::uint64_t>(
+      options.abort_check_events, 1);
+  return events % stride == 0 && options.abort();
+}
+
 /// Indexed binary min-heap over (reaction, absolute firing time); supports
 /// decrease/increase-key by reaction index, as the next-reaction method needs.
 class IndexedTimeHeap {
@@ -137,6 +146,10 @@ SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
   std::vector<double> propensities(m);
   double t = 0.0;
   while (t < options.t_end && result.events < options.max_events) {
+    if (abort_due(options, result.events)) {
+      result.aborted = true;
+      break;
+    }
     double total = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
       propensities[j] = system.propensity(j, counts, options.omega);
@@ -197,6 +210,10 @@ SsaResult run_next_reaction(const MassActionSystem& system,
 
   double t = 0.0;
   while (result.events < options.max_events) {
+    if (abort_due(options, result.events)) {
+      result.aborted = true;
+      break;
+    }
     const std::size_t fired = heap.top_reaction();
     const double t_next = heap.top_time();
     if (t_next == kInfinity) {
@@ -255,6 +272,10 @@ SsaResult run_tau_leaping(const MassActionSystem& system,
 
   double t = 0.0;
   while (t < options.t_end && result.events < options.max_events) {
+    if (options.abort && options.abort()) {  // every leap is coarse enough
+      result.aborted = true;
+      break;
+    }
     const double tau = std::min(options.tau, options.t_end - t);
     if (t + tau <= t) break;  // leap below one ulp of t: cannot advance
     bool any_active = false;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,13 @@ struct SsaOptions {
 
   /// Leap length for kTauLeaping (time units).
   double tau = 0.01;
+
+  /// Cooperative cancellation hook. Polled every `abort_check_events` events
+  /// (every leap for kTauLeaping), so an abort lands within microseconds
+  /// without taxing the per-event hot path. When it returns true the run
+  /// stops and the result carries `aborted = true`.
+  std::function<bool()> abort;
+  std::uint64_t abort_check_events = 1024;
 };
 
 struct SsaResult {
@@ -59,6 +67,7 @@ struct SsaResult {
   std::uint64_t events = 0;
   bool exhausted = false;  ///< all propensities hit zero before t_end
   bool hit_event_limit = false;
+  bool aborted = false;  ///< SsaOptions::abort requested an early stop
   double end_time = 0.0;
   std::vector<std::int64_t> final_counts;
 };

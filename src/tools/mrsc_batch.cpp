@@ -1,0 +1,481 @@
+// mrsc_batch — parallel batch runner for reaction-network files.
+//
+//   mrsc_batch FILE.crn [options]
+//
+// Two modes over the runtime's BatchRunner:
+//
+//   --mode ensemble (default): N independent SSA replicates of the network,
+//     seeded deterministically (replicate i gets stream_seed(seed, i)), with
+//     per-species mean/stddev/quantile statistics of the final state.
+//   --mode sweep: a k_fast/k_slow ratio x rate-jitter grid of deterministic
+//     ODE runs, one jittered network copy per grid point.
+//
+//   --jobs N           worker threads             (default: hardware)
+//   --replicates R     ensemble size              (default 64)
+//   --timeout S        per-job deadline, seconds  (default: none)
+//   --seed S           base seed                  (default 1)
+//   --t-end T          simulation horizon         (default 100)
+//   --method M         ensemble: ssa|nrm|tau      (default nrm)
+//                      sweep:    dp45|rk4|be      (default dp45)
+//   --omega W          molecules per concentration unit (ensemble)
+//   --record DT        sampling interval          (default t_end/200)
+//   --tau T            leap length for tau-leaping
+//   --ratios A,B,C     sweep ratios               (default 10,100,1000,10000)
+//   --jitters A,B      sweep jitter factors       (default 1)
+//   --species A,B,C    which species to report    (default all)
+//   --json PATH        write machine-readable results
+//
+// Exits nonzero on error or if any job failed.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/io.hpp"
+#include "analysis/sweep.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/ensemble.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  std::string file;
+  std::string mode = "ensemble";
+  std::size_t jobs = 0;  // 0 -> hardware concurrency
+  std::size_t replicates = 64;
+  double timeout = 0.0;
+  std::uint64_t seed = 1;
+  double t_end = 100.0;
+  std::string method;  // empty -> mode default
+  double omega = 1000.0;
+  double record = 0.0;  // 0 -> t_end / 200
+  double tau = 0.01;
+  double dt = 1e-3;
+  std::vector<double> ratios = {10.0, 100.0, 1000.0, 10000.0};
+  std::vector<double> jitters = {1.0};
+  std::vector<std::string> species;
+  std::string json;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsc_batch FILE.crn [--mode ensemble|sweep] [--jobs N]\n"
+      "       [--replicates R] [--timeout S] [--seed S] [--t-end T]\n"
+      "       [--method ssa|nrm|tau|dp45|rk4|be] [--omega W] [--record DT]\n"
+      "       [--tau T] [--dt H] [--ratios A,B,C] [--jitters A,B]\n"
+      "       [--species A,B,C] [--json PATH]\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_double(const char* flag, const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_batch: %s: '%s' is not a number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_batch: %s: '%s' is not a whole number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_double_list(const char* flag, const char* text,
+                       std::vector<double>& out) {
+  out.clear();
+  for (const std::string& item : split_commas(text)) {
+    double value = 0.0;
+    if (!parse_double(flag, item.c_str(), value)) return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_batch: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool takes_value = arg[0] == '-' && arg[1] == '-';
+    const char* value = nullptr;
+    if (takes_value && !(value = need_value(i))) return false;
+    if (std::strcmp(arg, "--mode") == 0) {
+      options.mode = value;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      std::uint64_t jobs = 0;
+      if (!parse_u64(arg, value, jobs)) return false;
+      options.jobs = static_cast<std::size_t>(jobs);
+    } else if (std::strcmp(arg, "--replicates") == 0) {
+      std::uint64_t replicates = 0;
+      if (!parse_u64(arg, value, replicates)) return false;
+      options.replicates = static_cast<std::size_t>(replicates);
+    } else if (std::strcmp(arg, "--timeout") == 0) {
+      if (!parse_double(arg, value, options.timeout)) return false;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!parse_u64(arg, value, options.seed)) return false;
+    } else if (std::strcmp(arg, "--t-end") == 0) {
+      if (!parse_double(arg, value, options.t_end)) return false;
+    } else if (std::strcmp(arg, "--method") == 0) {
+      options.method = value;
+    } else if (std::strcmp(arg, "--omega") == 0) {
+      if (!parse_double(arg, value, options.omega)) return false;
+    } else if (std::strcmp(arg, "--record") == 0) {
+      if (!parse_double(arg, value, options.record)) return false;
+    } else if (std::strcmp(arg, "--tau") == 0) {
+      if (!parse_double(arg, value, options.tau)) return false;
+    } else if (std::strcmp(arg, "--dt") == 0) {
+      if (!parse_double(arg, value, options.dt)) return false;
+    } else if (std::strcmp(arg, "--ratios") == 0) {
+      if (!parse_double_list(arg, value, options.ratios)) return false;
+    } else if (std::strcmp(arg, "--jitters") == 0) {
+      if (!parse_double_list(arg, value, options.jitters)) return false;
+    } else if (std::strcmp(arg, "--species") == 0) {
+      options.species = split_commas(value);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = value;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "mrsc_batch: unknown option %s\n", arg);
+      return false;
+    } else if (options.file.empty()) {
+      options.file = arg;
+    } else {
+      std::fprintf(stderr, "mrsc_batch: multiple input files\n");
+      return false;
+    }
+  }
+  if (options.file.empty()) {
+    usage();
+    return false;
+  }
+  if (options.mode != "ensemble" && options.mode != "sweep") {
+    std::fprintf(stderr, "mrsc_batch: --mode must be ensemble or sweep\n");
+    return false;
+  }
+  if (options.t_end <= 0.0 || options.omega <= 0.0 || options.tau <= 0.0 ||
+      options.dt <= 0.0) {
+    std::fprintf(stderr,
+                 "mrsc_batch: --t-end, --omega, --tau, --dt must be > 0\n");
+    return false;
+  }
+  if (options.record < 0.0 || options.timeout < 0.0) {
+    std::fprintf(stderr, "mrsc_batch: --record and --timeout must be >= 0\n");
+    return false;
+  }
+  if (options.replicates == 0) {
+    std::fprintf(stderr, "mrsc_batch: --replicates must be >= 1\n");
+    return false;
+  }
+  for (const double ratio : options.ratios) {
+    if (ratio <= 0.0) {
+      std::fprintf(stderr, "mrsc_batch: --ratios must be > 0\n");
+      return false;
+    }
+  }
+  for (const double jitter : options.jitters) {
+    if (jitter < 1.0) {
+      std::fprintf(stderr, "mrsc_batch: --jitters must be >= 1\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<core::SpeciesId> resolve_species(
+    const core::ReactionNetwork& network,
+    const std::vector<std::string>& names) {
+  std::vector<core::SpeciesId> ids;
+  if (names.empty()) {
+    for (std::size_t i = 0; i < network.species_count(); ++i) {
+      ids.push_back(
+          core::SpeciesId{static_cast<core::SpeciesId::underlying_type>(i)});
+    }
+    return ids;
+  }
+  for (const std::string& name : names) {
+    const auto id = network.find_species(name);
+    if (!id) {
+      throw std::invalid_argument("unknown species '" + name + "'");
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+void append_json_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+int run_ensemble(const core::ReactionNetwork& network,
+                 const CliOptions& cli) {
+  sim::SsaOptions ssa;
+  ssa.t_end = cli.t_end;
+  ssa.omega = cli.omega;
+  ssa.tau = cli.tau;
+  ssa.record_interval = cli.record > 0.0 ? cli.record : cli.t_end / 200.0;
+  const std::string method = cli.method.empty() ? "nrm" : cli.method;
+  if (method == "ssa") {
+    ssa.method = sim::SsaMethod::kDirect;
+  } else if (method == "nrm") {
+    ssa.method = sim::SsaMethod::kNextReaction;
+  } else if (method == "tau") {
+    ssa.method = sim::SsaMethod::kTauLeaping;
+  } else {
+    std::fprintf(stderr,
+                 "mrsc_batch: ensemble --method must be ssa|nrm|tau\n");
+    return 2;
+  }
+
+  runtime::EnsembleOptions options;
+  options.replicates = cli.replicates;
+  options.base_seed = cli.seed;
+  options.batch.threads = cli.jobs;
+  options.batch.timeout_seconds = cli.timeout;
+
+  const runtime::EnsembleResult result =
+      runtime::run_ssa_ensemble(network, ssa, options);
+  const std::vector<core::SpeciesId> report =
+      resolve_species(network, cli.species);
+
+  std::printf(
+      "ensemble: %zu replicates (%s, omega=%g, t_end=%g) on %zu worker(s)\n"
+      "          %zu ok, %zu failed, %zu timeout, %zu cancelled in %.3fs "
+      "(%.1f jobs/s)\n",
+      options.replicates, method.c_str(), ssa.omega, ssa.t_end,
+      runtime::BatchRunner(options.batch).options().threads, result.ok,
+      result.failed, result.timed_out, result.cancelled, result.wall_seconds,
+      static_cast<double>(options.replicates) /
+          std::max(result.wall_seconds, 1e-12));
+  std::printf("final state over ok replicates:\n");
+  std::printf("  %-20s %12s %12s %12s %12s %12s\n", "species", "mean",
+              "stddev", "q05", "median", "q95");
+  for (const core::SpeciesId id : report) {
+    const runtime::SpeciesStats& stats = result.final_stats[id.index()];
+    std::printf("  %-20s %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+                stats.name.c_str(), stats.mean, stats.stddev, stats.q05,
+                stats.q50, stats.q95);
+  }
+
+  if (!cli.json.empty()) {
+    std::string json = "{\n  \"mode\": \"ensemble\",\n";
+    json += "  \"replicates\": " + std::to_string(options.replicates) + ",\n";
+    json += "  \"base_seed\": " + std::to_string(options.base_seed) + ",\n";
+    json += "  \"method\": \"" + method + "\",\n";
+    json += "  \"ok\": " + std::to_string(result.ok) + ",\n";
+    json += "  \"failed\": " + std::to_string(result.failed) + ",\n";
+    json += "  \"timeout\": " + std::to_string(result.timed_out) + ",\n";
+    json += "  \"cancelled\": " + std::to_string(result.cancelled) + ",\n";
+    json += "  \"wall_seconds\": ";
+    append_json_number(json, result.wall_seconds);
+    json += ",\n  \"species\": [\n";
+    for (std::size_t i = 0; i < report.size(); ++i) {
+      const runtime::SpeciesStats& stats =
+          result.final_stats[report[i].index()];
+      json += "    {\"name\": \"" + stats.name + "\", \"mean\": ";
+      append_json_number(json, stats.mean);
+      json += ", \"stddev\": ";
+      append_json_number(json, stats.stddev);
+      json += ", \"min\": ";
+      append_json_number(json, stats.min);
+      json += ", \"max\": ";
+      append_json_number(json, stats.max);
+      json += ", \"q05\": ";
+      append_json_number(json, stats.q05);
+      json += ", \"q50\": ";
+      append_json_number(json, stats.q50);
+      json += ", \"q95\": ";
+      append_json_number(json, stats.q95);
+      json += i + 1 < report.size() ? "},\n" : "}\n";
+    }
+    json += "  ],\n  \"replicate_status\": [";
+    for (std::size_t i = 0; i < result.replicates.size(); ++i) {
+      json += std::string("\"") +
+              runtime::to_string(result.replicates[i].status) + "\"";
+      if (i + 1 < result.replicates.size()) json += ", ";
+    }
+    json += "]\n}\n";
+    std::ofstream out(cli.json);
+    if (!out) {
+      std::fprintf(stderr, "mrsc_batch: cannot write %s\n",
+                   cli.json.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("results written to %s\n", cli.json.c_str());
+  }
+  return result.ok == result.replicates.size() ? 0 : 1;
+}
+
+int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
+  const std::string method = cli.method.empty() ? "dp45" : cli.method;
+  sim::OdeOptions ode;
+  ode.t_end = cli.t_end;
+  ode.dt = cli.dt;
+  ode.record_interval = cli.record > 0.0 ? cli.record : cli.t_end / 200.0;
+  if (method == "dp45") {
+    ode.method = sim::OdeMethod::kDormandPrince45;
+  } else if (method == "rk4") {
+    ode.method = sim::OdeMethod::kRk4Fixed;
+  } else if (method == "be") {
+    ode.method = sim::OdeMethod::kBackwardEuler;
+  } else {
+    std::fprintf(stderr, "mrsc_batch: sweep --method must be dp45|rk4|be\n");
+    return 2;
+  }
+
+  // One jittered network copy per grid point; the jobs reference them.
+  struct GridPoint {
+    double ratio;
+    double jitter;
+    std::uint64_t seed;
+  };
+  std::vector<GridPoint> grid;
+  for (const double ratio : cli.ratios) {
+    for (const double jitter : cli.jitters) {
+      grid.push_back({ratio, jitter,
+                      util::Rng::stream_seed(cli.seed, grid.size())});
+    }
+  }
+  std::vector<core::ReactionNetwork> networks(grid.size(), network);
+  std::vector<runtime::SimJob> jobs(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    core::RatePolicy policy = network.rate_policy();
+    policy.k_fast = grid[i].ratio * policy.k_slow;
+    networks[i].set_rate_policy(policy);
+    if (grid[i].jitter > 1.0) {
+      util::Rng rng(grid[i].seed);
+      analysis::apply_rate_jitter(networks[i], grid[i].jitter, rng);
+    }
+    jobs[i].network = &networks[i];
+    jobs[i].kind = runtime::SimKind::kOde;
+    jobs[i].ode = ode;
+    jobs[i].label = "ratio " + std::to_string(grid[i].ratio) + " jitter " +
+                    std::to_string(grid[i].jitter);
+  }
+
+  runtime::BatchRunner runner(
+      {.threads = cli.jobs, .timeout_seconds = cli.timeout});
+  const std::vector<runtime::JobResult> results = runner.run(jobs);
+  const std::vector<core::SpeciesId> report =
+      resolve_species(network, cli.species);
+
+  std::printf("sweep: %zu points on %zu worker(s)\n", grid.size(),
+              runner.options().threads);
+  std::printf("  %-14s %-8s %-10s %-10s", "k_fast/k_slow", "jitter",
+              "status", "wall [s]");
+  for (const core::SpeciesId id : report) {
+    std::printf(" %12s", network.species_name(id).c_str());
+  }
+  std::printf("\n");
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const runtime::JobResult& job = results[i];
+    if (job.status != runtime::JobStatus::kOk) ++failures;
+    std::printf("  %-14g %-8g %-10s %-10.3f", grid[i].ratio, grid[i].jitter,
+                runtime::to_string(job.status), job.wall_seconds);
+    for (const core::SpeciesId id : report) {
+      if (id.index() < job.final_state.size()) {
+        std::printf(" %12.6g", job.final_state[id.index()]);
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf("\n");
+    if (job.status == runtime::JobStatus::kFailed) {
+      std::printf("      error: %s\n", job.error.c_str());
+    }
+  }
+
+  if (!cli.json.empty()) {
+    std::string json = "{\n  \"mode\": \"sweep\",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const runtime::JobResult& job = results[i];
+      json += "    {\"ratio\": ";
+      append_json_number(json, grid[i].ratio);
+      json += ", \"jitter\": ";
+      append_json_number(json, grid[i].jitter);
+      json += ", \"seed\": " + std::to_string(grid[i].seed);
+      json += std::string(", \"status\": \"") + runtime::to_string(job.status);
+      json += "\", \"wall_seconds\": ";
+      append_json_number(json, job.wall_seconds);
+      json += ", \"ode_steps\": " + std::to_string(job.ode_steps);
+      json += ", \"final\": {";
+      for (std::size_t s = 0; s < report.size(); ++s) {
+        json += "\"" + network.species_name(report[s]) + "\": ";
+        append_json_number(json,
+                           report[s].index() < job.final_state.size()
+                               ? job.final_state[report[s].index()]
+                               : 0.0);
+        if (s + 1 < report.size()) json += ", ";
+      }
+      json += i + 1 < results.size() ? "}},\n" : "}}\n";
+    }
+    json += "  ]\n}\n";
+    std::ofstream out(cli.json);
+    if (!out) {
+      std::fprintf(stderr, "mrsc_batch: cannot write %s\n",
+                   cli.json.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("results written to %s\n", cli.json.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) return 2;
+  try {
+    const core::ReactionNetwork network = core::load_network(cli.file);
+    std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
+                network.species_count(), network.reaction_count());
+    return cli.mode == "ensemble" ? run_ensemble(network, cli)
+                                  : run_sweep(network, cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_batch: %s\n", error.what());
+    return 1;
+  }
+}

@@ -15,8 +15,11 @@
 //   --laws             print the network's conservation laws
 //
 // Prints the final state of the reported species; exits nonzero on error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -69,6 +72,31 @@ std::vector<std::string> split_commas(const std::string& text) {
   return out;
 }
 
+bool parse_double(const char* flag, const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_sim: %s: '%s' is not a number\n", flag, text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_sim: %s: '%s' is not a whole number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
 bool parse_cli(int argc, char** argv, CliOptions& options) {
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -81,32 +109,26 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--t-end") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.t_end = std::stod(v);
+      if (!v || !parse_double(arg, v, options.t_end)) return false;
     } else if (std::strcmp(arg, "--method") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
       options.method = v;
     } else if (std::strcmp(arg, "--dt") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.dt = std::stod(v);
+      if (!v || !parse_double(arg, v, options.dt)) return false;
     } else if (std::strcmp(arg, "--record") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.record = std::stod(v);
+      if (!v || !parse_double(arg, v, options.record)) return false;
     } else if (std::strcmp(arg, "--omega") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.omega = std::stod(v);
+      if (!v || !parse_double(arg, v, options.omega)) return false;
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.seed = std::stoull(v);
+      if (!v || !parse_u64(arg, v, options.seed)) return false;
     } else if (std::strcmp(arg, "--tau") == 0) {
       const char* v = need_value(i);
-      if (!v) return false;
-      options.tau = std::stod(v);
+      if (!v || !parse_double(arg, v, options.tau)) return false;
     } else if (std::strcmp(arg, "--species") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
@@ -131,6 +153,32 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   }
   if (options.file.empty()) {
     usage();
+    return false;
+  }
+  // Validate up front so a bad value produces one clear message instead of a
+  // divide-by-zero sampling grid or an integrator that cannot advance.
+  if (options.t_end <= 0.0) {
+    std::fprintf(stderr, "mrsc_sim: --t-end must be > 0 (got %g)\n",
+                 options.t_end);
+    return false;
+  }
+  if (options.dt <= 0.0) {
+    std::fprintf(stderr, "mrsc_sim: --dt must be > 0 (got %g)\n", options.dt);
+    return false;
+  }
+  if (options.omega <= 0.0) {
+    std::fprintf(stderr, "mrsc_sim: --omega must be > 0 (got %g)\n",
+                 options.omega);
+    return false;
+  }
+  if (options.tau <= 0.0) {
+    std::fprintf(stderr, "mrsc_sim: --tau must be > 0 (got %g)\n",
+                 options.tau);
+    return false;
+  }
+  if (options.record < 0.0) {
+    std::fprintf(stderr, "mrsc_sim: --record must be >= 0 (got %g)\n",
+                 options.record);
     return false;
   }
   return true;
@@ -184,8 +232,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Default sampling grid: t_end/200, clamped away from zero so a tiny
+    // --t-end cannot underflow it into an invalid (nonpositive) interval.
     const double record =
-        cli.record > 0.0 ? cli.record : cli.t_end / 200.0;
+        cli.record > 0.0
+            ? cli.record
+            : std::max(cli.t_end / 200.0,
+                       std::numeric_limits<double>::min());
     sim::Trajectory trajectory;
     if (cli.method == "dp45" || cli.method == "rk4" || cli.method == "be") {
       sim::OdeOptions options;

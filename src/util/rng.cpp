@@ -120,4 +120,20 @@ double Rng::log_uniform_jitter(double factor) {
   return std::exp(uniform(-log_factor, log_factor));
 }
 
+std::uint64_t Rng::stream_seed(std::uint64_t base_seed, std::uint64_t stream) {
+  // (stream + 1) * odd-constant is injective in `stream`, so for a fixed base
+  // every stream lands on a distinct splitmix64 input; the finalizer then
+  // decorrelates neighbouring streams.
+  std::uint64_t s = base_seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(s);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  // Fold the current 256-bit state down to 64 bits (without touching it) and
+  // derive the child stream from the fold.
+  std::uint64_t folded = stream_seed(state_[0], state_[1]) ^
+                         stream_seed(state_[2], state_[3]);
+  return Rng(stream_seed(folded, stream));
+}
+
 }  // namespace mrsc::util

@@ -50,6 +50,19 @@ class Rng {
   /// rate-robustness sweeps to perturb individual rate constants.
   double log_uniform_jitter(double factor);
 
+  /// Derives the seed of sub-stream `stream` from `base_seed` by one
+  /// SplitMix64 finalization of an affine combination of the two. Distinct
+  /// streams of the same base are guaranteed distinct (the combination is
+  /// injective in `stream` and the finalizer is a bijection), so batch
+  /// runtimes can hand replicate i the seed `stream_seed(base, i)` and get
+  /// results that depend only on (base, i) — never on scheduling order.
+  [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t base_seed,
+                                                 std::uint64_t stream);
+
+  /// Returns an independent generator for sub-stream `stream`, derived from
+  /// this generator's current state without advancing it.
+  [[nodiscard]] Rng split(std::uint64_t stream) const;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   bool has_cached_normal_ = false;

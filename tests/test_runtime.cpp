@@ -1,0 +1,323 @@
+// Tests for the batch-execution runtime: thread-pool lifecycle, deterministic
+// seeding, per-job deadlines, cooperative cancellation, and bitwise equality
+// between serial and parallel execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "async/chain.hpp"
+#include "core/network.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/ensemble.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+#include "util/rng.hpp"
+
+namespace mrsc {
+namespace {
+
+/// A fast reversible pair that fires events for the whole horizon: the
+/// workhorse for "this SSA run takes a while" tests.
+core::ReactionNetwork busy_network(double initial = 50.0) {
+  core::ReactionNetwork net;
+  const core::SpeciesId x = net.add_species("X", initial);
+  const core::SpeciesId y = net.add_species("Y", 0.0);
+  net.add({{x, 1}}, {{y, 1}}, core::RateCategory::kFast);
+  net.add({{y, 1}}, {{x, 1}}, core::RateCategory::kFast);
+  return net;
+}
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  // Destroying the pool with a deep queue must execute everything: one
+  // worker, 50 queued tasks, no wait_idle before destruction.
+  std::atomic<int> counter{0};
+  {
+    runtime::ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool drains, then joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitFromInsideATask) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  runtime::ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+// --- BatchRunner ---------------------------------------------------------
+
+TEST(BatchRunner, OdeJobProducesFinalState) {
+  const core::ReactionNetwork net = busy_network(1.0);
+  runtime::SimJob job;
+  job.network = &net;
+  job.kind = runtime::SimKind::kOde;
+  job.ode.t_end = 20.0;
+  runtime::BatchRunner runner({.threads = 1});
+  const auto results = runner.run(std::vector<runtime::SimJob>{job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, runtime::JobStatus::kOk);
+  ASSERT_EQ(results[0].final_state.size(), 2u);
+  // X <-> Y at equal rates equilibrates to half the total mass each.
+  EXPECT_NEAR(results[0].final_state[0], 0.5, 1e-3);
+  EXPECT_NEAR(results[0].final_state[1], 0.5, 1e-3);
+  EXPECT_GT(results[0].ode_steps, 0u);
+}
+
+TEST(BatchRunner, FailedJobReportsError) {
+  const core::ReactionNetwork net = busy_network();
+  runtime::SimJob job;
+  job.network = &net;
+  job.kind = runtime::SimKind::kOde;
+  job.ode.t_end = -1.0;  // simulate_ode rejects this
+  runtime::BatchRunner runner({.threads = 1});
+  const auto results = runner.run(std::vector<runtime::SimJob>{job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, runtime::JobStatus::kFailed);
+  EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(BatchRunner, JobTimeoutFires) {
+  // 10k molecules of a fast reversible pair over a huge horizon: far more
+  // events than fit in the deadline, so the job must come back kTimeout and
+  // promptly (the abort poll runs every ~1024 events, i.e. microseconds).
+  const core::ReactionNetwork net = busy_network(10.0);
+  runtime::SimJob job;
+  job.network = &net;
+  job.kind = runtime::SimKind::kSsa;
+  job.ssa.t_end = 1e12;
+  job.ssa.omega = 1000.0;
+  job.ssa.record_interval = 1e9;
+  job.ssa.seed = 7;
+  runtime::BatchRunner runner({.threads = 1, .timeout_seconds = 0.1});
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run(std::vector<runtime::SimJob>{job});
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, runtime::JobStatus::kTimeout);
+  EXPECT_LT(elapsed, 5.0);  // deadline 0.1s; generous slack for CI machines
+  EXPECT_GT(results[0].ssa_events, 0u);
+}
+
+TEST(BatchRunner, CancelAbortsLongSsaRunPromptly) {
+  const core::ReactionNetwork net = busy_network(10.0);
+  runtime::SimJob job;
+  job.network = &net;
+  job.kind = runtime::SimKind::kSsa;
+  job.ssa.t_end = 1e12;
+  job.ssa.omega = 1000.0;
+  job.ssa.record_interval = 1e9;
+  job.ssa.seed = 11;
+  runtime::BatchRunner runner({.threads = 2});
+  std::thread canceller([&runner] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    runner.cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run(std::vector<runtime::SimJob>{job, job});
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  ASSERT_EQ(results.size(), 2u);
+  for (const runtime::JobResult& result : results) {
+    EXPECT_EQ(result.status, runtime::JobStatus::kCancelled);
+  }
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(BatchRunner, CancelledBeforeRunSkipsJobs) {
+  const core::ReactionNetwork net = busy_network();
+  runtime::SimJob job;
+  job.network = &net;
+  runtime::BatchRunner runner({.threads = 1});
+  runner.cancel();
+  const auto results = runner.run(std::vector<runtime::SimJob>{job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, runtime::JobStatus::kCancelled);
+  EXPECT_EQ(results[0].ssa_events, 0u);
+  runner.reset_cancel();
+  EXPECT_FALSE(runner.cancel_requested());
+}
+
+// --- Deterministic parallel execution ------------------------------------
+
+/// The error metric bench_rate_robustness uses for its T1a/T1b tables: the
+/// undelivered output fraction of a 2-element async delay chain.
+double chain_experiment(const core::RatePolicy& policy, double jitter,
+                        std::uint64_t seed) {
+  core::ReactionNetwork net;
+  async::ChainSpec spec;
+  spec.elements = 2;
+  const async::ChainHandles chain = async::build_delay_chain(net, spec);
+  net.set_initial(chain.input, 1.0);
+  net.set_rate_policy(policy);
+  if (jitter > 1.0) {
+    util::Rng rng(seed);
+    analysis::apply_rate_jitter(net, jitter, rng);
+  }
+  sim::OdeOptions options;
+  options.t_end = 200.0 / policy.k_slow;
+  const sim::OdeResult run = sim::simulate_ode(net, options);
+  return 1.0 - run.trajectory.final_value(chain.output);
+}
+
+TEST(BatchRunner, EightThreadSweepBitwiseIdenticalToSerial) {
+  analysis::RateSweepConfig config;
+  config.ratios = {10.0, 100.0, 1000.0};
+  config.jitter_factors = {1.0, 2.0};
+  config.base_seed = 42;
+
+  config.threads = 1;
+  const std::vector<analysis::SweepPoint> serial =
+      analysis::run_rate_sweep(config, chain_experiment);
+  config.threads = 8;
+  const std::vector<analysis::SweepPoint> parallel =
+      analysis::run_rate_sweep(config, chain_experiment);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 6u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ratio, parallel[i].ratio);
+    EXPECT_EQ(serial[i].jitter_factor, parallel[i].jitter_factor);
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].failed, parallel[i].failed);
+    // Bitwise, not approximately: the parallel path must not perturb inputs.
+    EXPECT_EQ(serial[i].error, parallel[i].error) << "point " << i;
+  }
+}
+
+TEST(BatchRunner, ForEachIndexPropagatesException) {
+  runtime::BatchRunner runner({.threads = 4});
+  EXPECT_THROW(runner.for_each_index(
+                   16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+// --- Ensembles -----------------------------------------------------------
+
+TEST(Ensemble, SeedsAreStreamDerivedAndDistinct) {
+  const core::ReactionNetwork net = busy_network();
+  sim::SsaOptions ssa;
+  const auto jobs = runtime::make_ensemble_jobs(net, ssa, 64, 5);
+  ASSERT_EQ(jobs.size(), 64u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].ssa.seed, util::Rng::stream_seed(5, i));
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      EXPECT_NE(jobs[i].ssa.seed, jobs[j].ssa.seed);
+    }
+  }
+}
+
+TEST(Ensemble, ResultsIndependentOfWorkerCount) {
+  const core::ReactionNetwork net = busy_network(5.0);
+  sim::SsaOptions ssa;
+  ssa.t_end = 5.0;
+  ssa.omega = 100.0;
+  ssa.record_interval = 1.0;
+
+  runtime::EnsembleOptions serial;
+  serial.replicates = 16;
+  serial.base_seed = 33;
+  serial.batch.threads = 1;
+  runtime::EnsembleOptions parallel = serial;
+  parallel.batch.threads = 8;
+
+  const runtime::EnsembleResult a = runtime::run_ssa_ensemble(net, ssa, serial);
+  const runtime::EnsembleResult b =
+      runtime::run_ssa_ensemble(net, ssa, parallel);
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  EXPECT_EQ(a.ok, 16u);
+  EXPECT_EQ(b.ok, 16u);
+  for (std::size_t i = 0; i < a.replicates.size(); ++i) {
+    EXPECT_EQ(a.replicates[i].ssa_events, b.replicates[i].ssa_events);
+    ASSERT_EQ(a.replicates[i].final_state.size(),
+              b.replicates[i].final_state.size());
+    for (std::size_t s = 0; s < a.replicates[i].final_state.size(); ++s) {
+      EXPECT_EQ(a.replicates[i].final_state[s], b.replicates[i].final_state[s]);
+    }
+  }
+  ASSERT_EQ(a.final_stats.size(), b.final_stats.size());
+  for (std::size_t s = 0; s < a.final_stats.size(); ++s) {
+    EXPECT_EQ(a.final_stats[s].mean, b.final_stats[s].mean);
+    EXPECT_EQ(a.final_stats[s].stddev, b.final_stats[s].stddev);
+    EXPECT_EQ(a.final_stats[s].q50, b.final_stats[s].q50);
+  }
+}
+
+TEST(Ensemble, StatsAreOrderedAndMassConserving) {
+  const core::ReactionNetwork net = busy_network(5.0);
+  sim::SsaOptions ssa;
+  ssa.t_end = 5.0;
+  ssa.omega = 200.0;
+  ssa.record_interval = 1.0;
+  runtime::EnsembleOptions options;
+  options.replicates = 32;
+  options.base_seed = 9;
+  options.batch.threads = 2;
+  const runtime::EnsembleResult result =
+      runtime::run_ssa_ensemble(net, ssa, options);
+  EXPECT_EQ(result.ok, 32u);
+  for (const runtime::SpeciesStats& stats : result.final_stats) {
+    EXPECT_LE(stats.min, stats.q05);
+    EXPECT_LE(stats.q05, stats.q50);
+    EXPECT_LE(stats.q50, stats.q95);
+    EXPECT_LE(stats.q95, stats.max);
+    EXPECT_GE(stats.mean, stats.min);
+    EXPECT_LE(stats.mean, stats.max);
+  }
+  // X + Y is conserved at 5.0 exactly (counts are integers / omega), so the
+  // per-replicate final states must sum to it.
+  for (const runtime::JobResult& job : result.replicates) {
+    EXPECT_NEAR(job.final_state[0] + job.final_state[1], 5.0, 1e-9);
+  }
+}
+
+TEST(Ensemble, QuantileSortedInterpolates) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(runtime::quantile_sorted(values, 0.0), 1.0);
+  EXPECT_EQ(runtime::quantile_sorted(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(runtime::quantile_sorted(values, 0.5), 2.5);
+  EXPECT_EQ(runtime::quantile_sorted({}, 0.5), 0.0);
+  EXPECT_EQ(runtime::quantile_sorted({7.0}, 0.9), 7.0);
+}
+
+}  // namespace
+}  // namespace mrsc
