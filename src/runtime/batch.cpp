@@ -44,6 +44,7 @@ BatchRunner::BatchRunner(BatchOptions options) : options_(options) {
 JobResult BatchRunner::execute(const SimJob& job) const {
   JobResult result;
   result.label = job.label;
+  if (job.kind == SimKind::kSsa) result.seed = job.ssa.seed;
   if (job.network == nullptr) {
     result.status = JobStatus::kFailed;
     result.error = "SimJob has no network";

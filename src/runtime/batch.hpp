@@ -60,6 +60,9 @@ struct JobResult {
   JobStatus status = JobStatus::kOk;
   std::string label;
   std::string error;         ///< failure reason when status == kFailed
+  /// The SSA seed the job ran with (0 for ODE jobs), echoed so failure
+  /// reports can name the exact replicate to re-run.
+  std::uint64_t seed = 0;
   double wall_seconds = 0.0;  ///< this job's execution time
   double end_time = 0.0;      ///< simulated time reached
   std::uint64_t ssa_events = 0;

@@ -295,6 +295,16 @@ int run_ensemble(const core::ReactionNetwork& network,
                 stats.name.c_str(), stats.mean, stats.stddev, stats.q05,
                 stats.q50, stats.q95);
   }
+  // Name every non-ok replicate with the seed that reruns it
+  // (`--seed <seed> --replicates 1` reproduces the exact trajectory).
+  for (std::size_t i = 0; i < result.replicates.size(); ++i) {
+    const runtime::JobResult& job = result.replicates[i];
+    if (job.status == runtime::JobStatus::kOk) continue;
+    std::fprintf(stderr, "mrsc_batch: replicate %zu (seed %llu) %s%s%s\n", i,
+                 static_cast<unsigned long long>(job.seed),
+                 runtime::to_string(job.status),
+                 job.error.empty() ? "" : ": ", job.error.c_str());
+  }
 
   if (!cli.json.empty()) {
     std::string json = "{\n  \"mode\": \"ensemble\",\n";
@@ -331,6 +341,11 @@ int run_ensemble(const core::ReactionNetwork& network,
     for (std::size_t i = 0; i < result.replicates.size(); ++i) {
       json += std::string("\"") +
               runtime::to_string(result.replicates[i].status) + "\"";
+      if (i + 1 < result.replicates.size()) json += ", ";
+    }
+    json += "],\n  \"replicate_seeds\": [";
+    for (std::size_t i = 0; i < result.replicates.size(); ++i) {
+      json += std::to_string(result.replicates[i].seed);
       if (i + 1 < result.replicates.size()) json += ", ";
     }
     json += "]\n}\n";
@@ -421,8 +436,14 @@ int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
       }
     }
     std::printf("\n");
-    if (job.status == runtime::JobStatus::kFailed) {
-      std::printf("      error: %s\n", job.error.c_str());
+    if (job.status != runtime::JobStatus::kOk) {
+      std::fprintf(stderr,
+                   "mrsc_batch: sweep point %zu (ratio %g jitter %g seed "
+                   "%llu) %s%s%s\n",
+                   i, grid[i].ratio, grid[i].jitter,
+                   static_cast<unsigned long long>(grid[i].seed),
+                   runtime::to_string(job.status),
+                   job.error.empty() ? "" : ": ", job.error.c_str());
     }
   }
 

@@ -9,6 +9,8 @@
 //   --omega W          molecules per concentration unit, stochastic methods
 //   --seed S           RNG seed, stochastic methods    (default 1)
 //   --tau T            leap length for tau-leaping     (default 0.01)
+//   --max-events N     event cap, stochastic methods; hitting it is an
+//                      error that names the method and seed
 //   --species A,B,C    which species to report         (default all)
 //   --csv PATH         write the trajectory as CSV
 //   --plot             render an ASCII waveform of the reported species
@@ -42,6 +44,7 @@ struct CliOptions {
   double omega = 1000.0;
   std::uint64_t seed = 1;
   double tau = 0.01;
+  std::uint64_t max_events = 0;  // 0 keeps the SsaOptions default
   std::vector<std::string> species;
   std::string csv;
   bool plot = false;
@@ -54,7 +57,8 @@ void usage() {
                "dp45|rk4|be|ssa|nrm|tau]\n"
                "       [--dt H] [--record DT] [--omega W] [--seed S] "
                "[--tau T]\n"
-               "       [--species A,B,C] [--csv PATH] [--plot] [--laws]\n");
+               "       [--max-events N] [--species A,B,C] [--csv PATH] "
+               "[--plot] [--laws]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -129,6 +133,13 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     } else if (std::strcmp(arg, "--tau") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.tau)) return false;
+    } else if (std::strcmp(arg, "--max-events") == 0) {
+      const char* v = need_value(i);
+      if (!v || !parse_u64(arg, v, options.max_events)) return false;
+      if (options.max_events == 0) {
+        std::fprintf(stderr, "mrsc_sim: --max-events must be >= 1\n");
+        return false;
+      }
     } else if (std::strcmp(arg, "--species") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
@@ -261,6 +272,7 @@ int main(int argc, char** argv) {
       options.omega = cli.omega;
       options.seed = cli.seed;
       options.tau = cli.tau;
+      if (cli.max_events > 0) options.max_events = cli.max_events;
       options.record_interval = record;
       options.method = cli.method == "ssa" ? sim::SsaMethod::kDirect
                        : cli.method == "nrm"
@@ -270,6 +282,16 @@ int main(int argc, char** argv) {
       std::printf("SSA (%s): %llu events%s\n", cli.method.c_str(),
                   static_cast<unsigned long long>(result.events),
                   result.exhausted ? " (exhausted)" : "");
+      if (result.hit_event_limit) {
+        std::fprintf(stderr,
+                     "mrsc_sim: method %s seed %llu hit the event limit "
+                     "(%llu events) at t=%.6g before t_end=%g\n",
+                     cli.method.c_str(),
+                     static_cast<unsigned long long>(cli.seed),
+                     static_cast<unsigned long long>(result.events),
+                     result.end_time, cli.t_end);
+        return 1;
+      }
       trajectory = std::move(result.trajectory);
     } else {
       std::fprintf(stderr, "mrsc_sim: unknown method '%s'\n",

@@ -1,0 +1,271 @@
+// mrsc_verify — differential-testing and property-fuzzing CLI.
+//
+//   mrsc_verify [options]
+//
+// Sweeps seeds over the structured random-case generator (raw networks,
+// synchronous circuits, dual-rail circuits, FSMs, counters), runs every
+// applicable invariant/differential oracle, and shrinks any failing network
+// to a minimal repro. A clean run prints per-kind counts and exits 0; any
+// violation prints the shrunk repro plus the exact command to reproduce it
+// and exits 1.
+//
+//   --seeds N          number of cases              (default 50)
+//   --start-seed S     first seed                   (default 0)
+//   --kinds A,B,C      subset of raw,sync,dual,fsm,counter (default all)
+//   --cycles N         clock cycles per clocked case (default 3)
+//   --replicates R     SSA replicates per ensemble  (default 16)
+//   --omega W          molecules per concentration unit (default 300)
+//   --threads N        worker threads               (default 1; 0 = hardware)
+//   --no-shrink        report failures unshrunk
+//   --no-differential  skip the SSA-ensemble oracles on raw cases
+//   --json PATH        machine-readable failure report
+//   --regen-golden DIR recompute the golden traces into DIR and exit
+//   --verbose          print every case, not just failures
+//
+// Exits 0 on a clean sweep, 1 on violations, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "verify/golden.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  verify::VerifyOptions verify;
+  std::string kinds_csv;
+  std::string json;
+  std::string regen_golden;
+  bool verbose = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsc_verify [--seeds N] [--start-seed S] [--kinds A,B,C]\n"
+      "       [--cycles N] [--replicates R] [--omega W] [--threads N]\n"
+      "       [--no-shrink] [--no-differential] [--json PATH]\n"
+      "       [--regen-golden DIR] [--verbose]\n"
+      "       kinds: raw,sync,dual,fsm,counter\n");
+}
+
+bool parse_double(const char* flag, const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_verify: %s: '%s' is not a number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_verify: %s: '%s' is not a whole number\n",
+                 flag, text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_verify: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool is_flag = std::strcmp(arg, "--no-shrink") == 0 ||
+                         std::strcmp(arg, "--no-differential") == 0 ||
+                         std::strcmp(arg, "--verbose") == 0;
+    const bool takes_value = !is_flag && arg[0] == '-' && arg[1] == '-';
+    const char* value = nullptr;
+    if (takes_value && !(value = need_value(i))) return false;
+    if (std::strcmp(arg, "--seeds") == 0) {
+      std::uint64_t seeds = 0;
+      if (!parse_u64(arg, value, seeds)) return false;
+      options.verify.seeds = static_cast<std::size_t>(seeds);
+    } else if (std::strcmp(arg, "--start-seed") == 0) {
+      if (!parse_u64(arg, value, options.verify.start_seed)) return false;
+    } else if (std::strcmp(arg, "--kinds") == 0) {
+      options.kinds_csv = value;
+    } else if (std::strcmp(arg, "--cycles") == 0) {
+      std::uint64_t cycles = 0;
+      if (!parse_u64(arg, value, cycles)) return false;
+      options.verify.generator.cycles = static_cast<std::size_t>(cycles);
+    } else if (std::strcmp(arg, "--replicates") == 0) {
+      std::uint64_t replicates = 0;
+      if (!parse_u64(arg, value, replicates)) return false;
+      options.verify.ssa_replicates = static_cast<std::size_t>(replicates);
+    } else if (std::strcmp(arg, "--omega") == 0) {
+      if (!parse_double(arg, value, options.verify.omega)) return false;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      std::uint64_t threads = 0;
+      if (!parse_u64(arg, value, threads)) return false;
+      options.verify.threads = static_cast<std::size_t>(threads);
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.verify.shrink = false;
+    } else if (std::strcmp(arg, "--no-differential") == 0) {
+      options.verify.differential = false;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = value;
+    } else if (std::strcmp(arg, "--regen-golden") == 0) {
+      options.regen_golden = value;
+    } else {
+      std::fprintf(stderr, "mrsc_verify: unknown option %s\n", arg);
+      return false;
+    }
+  }
+  if (options.regen_golden.empty() && options.verify.seeds == 0) {
+    std::fprintf(stderr, "mrsc_verify: --seeds must be >= 1\n");
+    return false;
+  }
+  if (options.verify.omega <= 0.0) {
+    std::fprintf(stderr, "mrsc_verify: --omega must be > 0\n");
+    return false;
+  }
+  if (options.verify.generator.cycles == 0 ||
+      options.verify.ssa_replicates == 0) {
+    std::fprintf(stderr,
+                 "mrsc_verify: --cycles and --replicates must be >= 1\n");
+    return false;
+  }
+  try {
+    options.verify.kinds = verify::parse_kinds(options.kinds_csv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrsc_verify: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+int regen_golden(const std::string& dir) {
+  const auto traces = verify::compute_reference_traces();
+  for (const verify::GoldenTrace& trace : traces) {
+    const std::string path = dir + "/" + trace.name + ".golden";
+    verify::save_golden(trace, path);
+    std::printf("wrote %s (%zu rows, tolerance %g)\n", path.c_str(),
+                trace.rows.size(), trace.tolerance);
+  }
+  return 0;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int write_json(const std::string& path, const verify::FuzzReport& report) {
+  std::string json = "{\n";
+  json += "  \"checked\": " + std::to_string(report.checked) + ",\n";
+  json += "  \"failed\": " + std::to_string(report.failed) + ",\n";
+  json +=
+      "  \"wall_seconds\": " + std::to_string(report.wall_seconds) + ",\n";
+  json += "  \"failures\": [\n";
+  bool first = true;
+  for (const verify::CaseResult& result : report.cases) {
+    if (!result.failed()) continue;
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"seed\": " + std::to_string(result.seed) + ", \"kind\": \"";
+    json += verify::to_string(result.kind);
+    json += "\", \"violations\": [";
+    for (std::size_t v = 0; v < result.violations.size(); ++v) {
+      json += "{\"oracle\": \"" + json_escape(result.violations[v].oracle) +
+              "\", \"detail\": \"" + json_escape(result.violations[v].detail) +
+              "\"}";
+      if (v + 1 < result.violations.size()) json += ", ";
+    }
+    json += "], \"shrunk\": ";
+    json += result.shrunk ? "true" : "false";
+    if (result.shrunk) {
+      json += ", \"shrunk_reactions\": " +
+              std::to_string(result.shrunk_reactions) +
+              ", \"repro\": \"" + json_escape(result.repro) + "\"";
+    }
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "mrsc_verify: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (!cli.regen_golden.empty()) return regen_golden(cli.regen_golden);
+
+    const verify::FuzzReport report = verify::run_fuzz(cli.verify);
+
+    std::map<std::string, std::size_t> per_kind;
+    std::map<std::string, std::size_t> per_kind_failed;
+    for (const verify::CaseResult& result : report.cases) {
+      ++per_kind[verify::to_string(result.kind)];
+      if (result.failed()) ++per_kind_failed[verify::to_string(result.kind)];
+      if (cli.verbose || result.failed()) {
+        std::printf("%s\n", verify::describe(result).c_str());
+      }
+    }
+    std::printf("checked %zu cases in %.1fs:", report.checked,
+                report.wall_seconds);
+    for (const auto& [kind, count] : per_kind) {
+      std::printf(" %s=%zu", kind.c_str(), count);
+      if (per_kind_failed.count(kind) > 0) {
+        std::printf("(%zu FAILED)", per_kind_failed[kind]);
+      }
+    }
+    std::printf("\n%s\n",
+                report.failed == 0
+                    ? "all oracles passed"
+                    : "VIOLATIONS FOUND — see repros above");
+    if (!cli.json.empty()) {
+      const int rc = write_json(cli.json, report);
+      if (rc != 0) return rc;
+    }
+    return report.failed == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_verify: %s\n", error.what());
+    return 1;
+  }
+}

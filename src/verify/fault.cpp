@@ -1,0 +1,55 @@
+#include "verify/fault.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mrsc::verify::testing {
+
+core::ReactionNetwork with_stoichiometry_fault(
+    const core::ReactionNetwork& network, core::ReactionId target) {
+  if (target.index() >= network.reaction_count()) {
+    throw std::out_of_range("with_stoichiometry_fault: bad reaction id");
+  }
+  core::ReactionNetwork out;
+  for (std::size_t i = 0; i < network.species_count(); ++i) {
+    const core::SpeciesId id(static_cast<std::uint32_t>(i));
+    out.add_species(network.species_name(id), network.initial(id));
+  }
+  out.set_rate_policy(network.rate_policy());
+  for (std::size_t r = 0; r < network.reaction_count(); ++r) {
+    const core::Reaction& reaction =
+        network.reaction(core::ReactionId(static_cast<std::uint32_t>(r)));
+    if (r != target.index()) {
+      out.add_reaction(reaction);
+      continue;
+    }
+    std::vector<core::Term> products = reaction.products();
+    if (products.empty() && reaction.reactants().empty()) {
+      throw std::invalid_argument(
+          "with_stoichiometry_fault: reaction has no terms to corrupt");
+    }
+    if (products.empty()) {
+      products.push_back({reaction.reactants().front().species, 1});
+    } else {
+      products.front().stoich += 1;
+    }
+    core::Reaction faulty(reaction.reactants(), std::move(products),
+                          reaction.category(), reaction.custom_rate(),
+                          reaction.label());
+    faulty.set_rate_multiplier(reaction.rate_multiplier());
+    out.add_reaction(std::move(faulty));
+  }
+  return out;
+}
+
+core::ReactionId find_reaction_by_label(const core::ReactionNetwork& network,
+                                        const std::string& label) {
+  for (std::size_t r = 0; r < network.reaction_count(); ++r) {
+    const core::ReactionId id(static_cast<std::uint32_t>(r));
+    if (network.reaction(id).label() == label) return id;
+  }
+  throw std::invalid_argument("find_reaction_by_label: no reaction labelled '" +
+                              label + "'");
+}
+
+}  // namespace mrsc::verify::testing

@@ -1,0 +1,27 @@
+// Fault injection for verifying the verifier (test-only hook).
+//
+// The oracles are only trustworthy if they demonstrably catch broken
+// networks. This hook deliberately corrupts one reaction's stoichiometry —
+// the molecular analogue of a single-gate hardware defect — so tests can
+// assert the fuzzer flags the corrupted network and shrinks it to a minimal
+// repro. Not used by any production code path.
+#pragma once
+
+#include "core/network.hpp"
+
+namespace mrsc::verify::testing {
+
+/// Returns a copy of `network` with reaction `target`'s first product
+/// stoichiometry incremented by one (a product-duplication fault; a reaction
+/// with no products gains its first reactant as a product instead, turning a
+/// sink into a no-op). Throws `std::out_of_range` on a bad id.
+[[nodiscard]] core::ReactionNetwork with_stoichiometry_fault(
+    const core::ReactionNetwork& network, core::ReactionId target);
+
+/// Finds a reaction whose label matches `label` exactly; throws
+/// `std::invalid_argument` if absent. Convenience for corrupting a specific
+/// compiled reaction (e.g. a clock seed reaction) in tests.
+[[nodiscard]] core::ReactionId find_reaction_by_label(
+    const core::ReactionNetwork& network, const std::string& label);
+
+}  // namespace mrsc::verify::testing

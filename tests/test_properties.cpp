@@ -9,7 +9,10 @@
 #include "core/network.hpp"
 #include "sim/ode.hpp"
 #include "sim/ssa.hpp"
+#include "sync/clock.hpp"
 #include "util/rng.hpp"
+#include "verify/generator.hpp"
+#include "verify/oracles.hpp"
 
 namespace mrsc {
 namespace {
@@ -179,6 +182,62 @@ TEST_P(RandomNetworkTest, ConservationLawsHoldUnderSsa) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest, ::testing::Range(0, 10));
+
+// --- structured synchronous circuits from the verify generator --------------
+//
+// The paper's clock and dual-rail invariants, checked on *structured* random
+// designs (clock + registers + random combinational logic) rather than flat
+// random networks. Free-running the compiled network for a few clock periods
+// is enough to exercise the invariants; driving inputs is the (slower) fuzz
+// CLI's job.
+
+/// Free-run horizon covering ~3.5 clock periods under the default policy.
+sim::Trajectory free_run(const ReactionNetwork& net) {
+  sim::OdeOptions options;
+  options.t_end = 3.5 * 15.0 * sync::ClockSpec{}.phase_stretch /
+                  net.rate_policy().k_slow;
+  return simulate_ode(net, options).trajectory;
+}
+
+verify::GeneratorOptions cheap_circuits() {
+  verify::GeneratorOptions options;
+  options.cycles = 2;
+  return options;
+}
+
+class StructuredCircuitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuredCircuitTest, ClockPhaseTokenStaysUnique) {
+  const verify::GeneratedCase c =
+      verify::generate_case(verify::CaseKind::kSyncCircuit,
+                            static_cast<std::uint64_t>(GetParam()),
+                            cheap_circuits());
+  const auto& payload = std::get<verify::SyncCase>(c.payload);
+  const sim::Trajectory trajectory = free_run(c.network());
+  const auto v =
+      verify::check_clock_phase_token(payload.circuit.clock, trajectory);
+  EXPECT_FALSE(v.has_value()) << "seed " << GetParam() << ": " << v->detail;
+}
+
+TEST_P(StructuredCircuitTest, DualRailPairsStayExclusive) {
+  const verify::GeneratedCase c =
+      verify::generate_case(verify::CaseKind::kDualRailCircuit,
+                            static_cast<std::uint64_t>(GetParam()),
+                            cheap_circuits());
+  const auto& payload = std::get<verify::DualRailCase>(c.payload);
+  const sim::Trajectory trajectory = free_run(c.network());
+  const auto clock =
+      verify::check_clock_phase_token(payload.circuit.clock, trajectory);
+  EXPECT_FALSE(clock.has_value())
+      << "seed " << GetParam() << ": " << clock->detail;
+  const auto rails = verify::check_dual_rail_exclusive(
+      c.network(), trajectory, payload.rail_pairs);
+  EXPECT_FALSE(rails.has_value())
+      << "seed " << GetParam() << ": " << rails->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredCircuitTest,
+                         ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace mrsc

@@ -133,6 +133,52 @@ TEST(BatchRunner, JobTimeoutFires) {
   EXPECT_GT(results[0].ssa_events, 0u);
 }
 
+TEST(BatchRunner, TauLeapingJobHonoursTheDeadline) {
+  // The deadline hook is polled once per leap in tau-leaping; a huge-horizon
+  // tau run must come back kTimeout, not run to t_end.
+  const core::ReactionNetwork net = busy_network(10.0);
+  runtime::SimJob job;
+  job.network = &net;
+  job.kind = runtime::SimKind::kSsa;
+  job.ssa.method = sim::SsaMethod::kTauLeaping;
+  job.ssa.tau = 1e-5;
+  job.ssa.t_end = 1e12;
+  job.ssa.omega = 1000.0;
+  job.ssa.record_interval = 1e9;
+  job.ssa.seed = 13;
+  runtime::BatchRunner runner({.threads = 1, .timeout_seconds = 0.1});
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run(std::vector<runtime::SimJob>{job});
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, runtime::JobStatus::kTimeout);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_LT(results[0].end_time, job.ssa.t_end);
+}
+
+TEST(BatchRunner, ResultEchoesTheJobSeed) {
+  // Failure reports name the replicate's seed; the result must carry it even
+  // when the job fails or times out.
+  const core::ReactionNetwork net = busy_network();
+  runtime::SimJob ssa_job;
+  ssa_job.network = &net;
+  ssa_job.kind = runtime::SimKind::kSsa;
+  ssa_job.ssa.t_end = 0.1;
+  ssa_job.ssa.seed = 424242;
+  runtime::SimJob ode_job;
+  ode_job.network = &net;
+  ode_job.kind = runtime::SimKind::kOde;
+  ode_job.ode.t_end = 0.1;
+  runtime::BatchRunner runner({.threads = 1});
+  const auto results =
+      runner.run(std::vector<runtime::SimJob>{ssa_job, ode_job});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].seed, 424242u);
+  EXPECT_EQ(results[1].seed, 0u);  // ODE jobs are seedless
+}
+
 TEST(BatchRunner, CancelAbortsLongSsaRunPromptly) {
   const core::ReactionNetwork net = busy_network(10.0);
   runtime::SimJob job;

@@ -160,5 +160,79 @@ TEST(TauLeaping, NoNegativeCounts) {
   }
 }
 
+TEST(TauLeaping, NegativeGuardRespectsStoichiometryAboveOne) {
+  // 2A -> B consumes two As per firing: the batch cap must be count/2, not
+  // count, or an odd leftover drives A to -1. The cap must also not *mint*
+  // molecules: 2A + B must be exactly conserved in counts.
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("2 A -> B", 40.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.2;  // overshoots wildly on purpose
+  options.t_end = 2.0;
+  options.omega = 101.0;  // odd initial count: exercises the leftover A
+  const std::int64_t initial_a = 101;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    options.seed = seed;
+    const SsaResult result = simulate_ssa(net, options);
+    EXPECT_GE(result.final_counts[0], 0) << "seed " << seed;
+    EXPECT_GE(result.final_counts[1], 0) << "seed " << seed;
+    EXPECT_EQ(result.final_counts[0] + 2 * result.final_counts[1], initial_a)
+        << "seed " << seed;
+  }
+}
+
+TEST(TauLeaping, AbortBeforeFirstLeapRunsNothing) {
+  const ReactionNetwork net = decay_network(1.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.01;
+  options.t_end = 10.0;
+  options.omega = 500.0;
+  options.abort = [] { return true; };
+  const SsaResult result = simulate_ssa(net, options);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.events, 0u);
+  EXPECT_EQ(result.end_time, 0.0);
+  // The initial state is still recorded and returned.
+  EXPECT_EQ(result.final_counts[0], 500);
+}
+
+TEST(TauLeaping, AbortMidRunStopsAtTheNextLeap) {
+  const ReactionNetwork net = decay_network(0.5);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.01;
+  options.t_end = 100.0;
+  options.omega = 500.0;
+  int leaps_allowed = 10;
+  options.abort = [&leaps_allowed] { return leaps_allowed-- <= 0; };
+  const SsaResult result = simulate_ssa(net, options);
+  EXPECT_TRUE(result.aborted);
+  // Ten 0.01 leaps were allowed before the hook tripped.
+  EXPECT_NEAR(result.end_time, 0.1, 1e-9);
+  EXPECT_LT(result.end_time, 100.0);
+}
+
+TEST(TauLeaping, EventLimitReported) {
+  ReactionNetwork net;
+  NetworkBuilder b(net);
+  b.species("A", 1.0);
+  b.reaction("A -> B", 5.0);
+  b.reaction("B -> A", 5.0);
+  SsaOptions options;
+  options.method = SsaMethod::kTauLeaping;
+  options.tau = 0.01;
+  options.t_end = 50.0;
+  options.omega = 1000.0;
+  options.max_events = 100;  // far fewer than the run needs
+  const SsaResult result = simulate_ssa(net, options);
+  EXPECT_TRUE(result.hit_event_limit);
+  EXPECT_GE(result.events, options.max_events);
+  EXPECT_LT(result.end_time, options.t_end);
+}
+
 }  // namespace
 }  // namespace mrsc::sim
