@@ -1,5 +1,6 @@
 #include "async/circuit.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace mrsc::async {
@@ -37,7 +38,8 @@ core::SpeciesId CompiledAsyncCircuit::red_of(const std::string& reg) const {
 }
 
 CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
-    core::ReactionNetwork& network, const std::string& prefix) const {
+    core::ReactionNetwork& network, const std::string& prefix,
+    const compile::CompileOptions& options) const {
   // --- static checks (same discipline as the synchronous compiler) ---------
   for (std::uint32_t s = 0; s < sig_count_; ++s) {
     if (!sig_consumed_[s]) {
@@ -66,45 +68,52 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
         "AsyncCircuitBuilder::compile_async: dual-rail normalization is not "
         "supported in self-timed circuits yet");
   }
+  auto assumed_zero = [&](const std::string& name) {
+    for (const std::string& port : options.assume_zero_inputs) {
+      if (port == name) return true;
+    }
+    return false;
+  };
 
+  const auto lowering_start = std::chrono::steady_clock::now();
+  compile::LoweringContext ctx(network, prefix);
   CompiledAsyncCircuit compiled;
 
   // --- species ----------------------------------------------------------------
   std::vector<SpeciesId> wires(sig_count_);
   for (std::uint32_t s = 0; s < sig_count_; ++s) {
-    wires[s] = network.add_species(prefix + "_w" + std::to_string(s));
+    wires[s] = ctx.species(prefix + "_w" + std::to_string(s));
   }
-  std::vector<SpeciesId> reg_r(registers_.size());
-  std::vector<SpeciesId> reg_g(registers_.size());
-  std::vector<SpeciesId> reg_b(registers_.size());
+  std::vector<compile::ColorTriple> triples(registers_.size());
   for (std::size_t i = 0; i < registers_.size(); ++i) {
-    const std::string& name = registers_[i].name;
-    reg_r[i] =
-        network.add_species(prefix + "_R_" + name, registers_[i].initial);
-    reg_g[i] = network.add_species(prefix + "_G_" + name);
-    reg_b[i] = network.add_species(prefix + "_B_" + name);
-    compiled.register_red.emplace(name, reg_r[i]);
+    triples[i] = ctx.color_triple(registers_[i].name, registers_[i].initial);
+    compiled.register_red.emplace(registers_[i].name, triples[i].red);
   }
   // Heartbeat register: a constant 1.0 circulating its own triple, so the
   // harness has a data-independent pacing signal.
-  const SpeciesId hb_r = network.add_species(prefix + "_R_hb", 1.0);
-  const SpeciesId hb_g = network.add_species(prefix + "_G_hb");
-  const SpeciesId hb_b = network.add_species(prefix + "_B_hb");
-  compiled.register_red.emplace("hb", hb_r);
-  compiled.pacing = hb_g;
-  compiled.pacing_inject = hb_b;
+  const compile::ColorTriple hb = ctx.color_triple("hb", 1.0);
+  compiled.register_red.emplace("hb", hb.red);
+  compiled.pacing = hb.green;
+  compiled.pacing_inject = hb.blue;
+  ctx.declare_root(hb.red, compile::PortRole::kClock);
+  ctx.declare_root(hb.green, compile::PortRole::kClock);
+  ctx.declare_root(hb.blue, compile::PortRole::kClock);
 
   // Ports.
   for (const Op& op : ops_) {
     if (op.kind == OpKind::kInput) {
-      compiled.inputs.emplace(
-          op.name, network.add_species(prefix + "_in_" + op.name));
+      const SpeciesId port = ctx.species(prefix + "_in_" + op.name);
+      compiled.inputs.emplace(op.name, port);
+      if (!assumed_zero(op.name)) {
+        ctx.declare_root(port, compile::PortRole::kInput);
+      }
     }
   }
   for (const Sink& sink : sinks_) {
     if (sink.kind == SinkKind::kOutput) {
-      compiled.outputs.emplace(
-          sink.name, network.add_species(prefix + "_out_" + sink.name));
+      const SpeciesId port = ctx.species(prefix + "_out_" + sink.name);
+      compiled.outputs.emplace(sink.name, port);
+      ctx.declare_root(port, compile::PortRole::kOutput);
     }
   }
 
@@ -115,70 +124,52 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
   std::vector<SpeciesId> green_members;
   std::vector<SpeciesId> blue_members;
   for (std::size_t i = 0; i < registers_.size(); ++i) {
-    red_members.push_back(reg_r[i]);
-    green_members.push_back(reg_g[i]);
-    blue_members.push_back(reg_b[i]);
+    red_members.push_back(triples[i].red);
+    green_members.push_back(triples[i].green);
+    blue_members.push_back(triples[i].blue);
   }
-  red_members.push_back(hb_r);
-  green_members.push_back(hb_g);
-  blue_members.push_back(hb_b);
+  red_members.push_back(hb.red);
+  green_members.push_back(hb.green);
+  blue_members.push_back(hb.blue);
   for (const auto& [name, id] : compiled.outputs) red_members.push_back(id);
   for (const auto& [name, id] : compiled.inputs) blue_members.push_back(id);
   for (const SpeciesId wire : wires) blue_members.push_back(wire);
 
-  compiled.ind_r = network.add_species(prefix + "_r");
-  compiled.ind_g = network.add_species(prefix + "_g");
-  compiled.ind_b = network.add_species(prefix + "_b");
+  compiled.ind_r = ctx.species(prefix + "_r");
+  compiled.ind_g = ctx.species(prefix + "_g");
+  compiled.ind_b = ctx.species(prefix + "_b");
+  ctx.declare_root(compiled.ind_r, compile::PortRole::kClock);
+  ctx.declare_root(compiled.ind_g, compile::PortRole::kClock);
+  ctx.declare_root(compiled.ind_b, compile::PortRole::kClock);
   // Each indicator's generation is slowed relative to the completion speed
   // of the phase it waits for, so a gate never accumulates appreciably while
   // its predecessor phase is still finishing. The blue-to-red phase is the
   // slow one (its releases are seed-only — combinational logic breaks the
   // 1:1 feedback trick), so its gate ind_g runs at half rate and the gate
   // that waits *for* it (ind_b, enabling red-to-green) is slowed the most.
-  auto emit_indicator = [&](SpeciesId indicator,
-                            const std::vector<SpeciesId>& members,
-                            const char* name, double gen_multiplier) {
-    const core::ReactionId gen =
-        network.add({}, {{indicator, 1}}, RateCategory::kSlow, 0.0,
-                    prefix + ".ind." + name + ".gen");
-    network.reaction_mutable(gen).set_rate_multiplier(gen_multiplier);
-    for (const SpeciesId member : members) {
-      network.add({{indicator, 1}, {member, 1}}, {{member, 1}},
-                  RateCategory::kFast, 0.0,
-                  prefix + ".ind." + name + ".absorb");
-    }
-  };
-  emit_indicator(compiled.ind_r, red_members, "r", 0.5);
-  emit_indicator(compiled.ind_g, green_members, "g", 0.5);
-  emit_indicator(compiled.ind_b, blue_members, "b", 0.125);
+  ctx.indicator(compiled.ind_r, red_members, 0.5, prefix + ".ind.r");
+  ctx.indicator(compiled.ind_g, green_members, 0.5, prefix + ".ind.g");
+  ctx.indicator(compiled.ind_b, blue_members, 0.125, prefix + ".ind.b");
 
   // --- register-internal phases (feedback-sharpened, per register) ---------
   auto emit_sharpened = [&](SpeciesId from, SpeciesId to, SpeciesId gate,
                             const std::string& tag) {
-    network.add({{gate, 1}, {from, 1}}, {{to, 1}}, RateCategory::kSlow, 0.0,
-                tag + ".seed");
-    const SpeciesId dimer = network.add_species(tag + "_I");
-    network.add({{to, 2}}, {{dimer, 1}}, RateCategory::kSlow, 0.0,
-                tag + ".dimerize");
-    network.add({{dimer, 1}}, {{to, 2}}, RateCategory::kFast, 0.0,
-                tag + ".undimerize");
-    network.add({{dimer, 1}, {from, 1}}, {{to, 3}}, RateCategory::kFast, 0.0,
-                tag + ".feedback");
+    ctx.sharpened_hop(from, to, gate, tag, tag + "_I");
   };
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     const std::string& name = registers_[i].name;
     // red-to-green gated on absence of blue; green-to-blue on absence of red.
-    emit_sharpened(reg_r[i], reg_g[i], compiled.ind_b,
+    emit_sharpened(triples[i].red, triples[i].green, compiled.ind_b,
                    prefix + "_" + name + "_r2g");
-    emit_sharpened(reg_g[i], reg_b[i], compiled.ind_r,
+    emit_sharpened(triples[i].green, triples[i].blue, compiled.ind_r,
                    prefix + "_" + name + "_g2b");
   }
-  emit_sharpened(hb_r, hb_g, compiled.ind_b, prefix + "_hb_r2g");
-  emit_sharpened(hb_g, hb_b, compiled.ind_r, prefix + "_hb_g2b");
+  emit_sharpened(hb.red, hb.green, compiled.ind_b, prefix + "_hb_r2g");
+  emit_sharpened(hb.green, hb.blue, compiled.ind_r, prefix + "_hb_g2b");
   // The heartbeat's blue-to-red hop has no ops on its path, so it CAN be
   // feedback-sharpened — and must be: a lingering hb_B residue would leak
   // the next red-to-green phase early and smear the whole oscillation.
-  emit_sharpened(hb_b, hb_r, compiled.ind_g, prefix + "_hb_b2r");
+  emit_sharpened(hb.blue, hb.red, compiled.ind_g, prefix + "_hb_b2r");
 
   // --- the combinational pass (blue-to-red phase) ---------------------------
   // Releases (indicator-consuming seeds) feed the wires; fast ops flow; fast
@@ -197,17 +188,16 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
       // starves here: the heartbeat's next phase competes for the same
       // indicator molecules and the transfer tail stalls.)
       case OpKind::kInput: {
-        network.add({{hb_r, 1}, {compiled.inputs.at(op.name), 1}},
-                    {{hb_r, 1}, {wires[op.results[0]], 1}},
-                    RateCategory::kSlow, 0.0,
-                    prefix + ".release.in." + op.name);
+        ctx.released_transfer(hb.red, compiled.inputs.at(op.name),
+                              wires[op.results[0]],
+                              prefix + ".release.in." + op.name);
         break;
       }
       case OpKind::kRead: {
-        network.add({{hb_r, 1}, {reg_b[op.reg], 1}},
-                    {{hb_r, 1}, {wires[op.results[0]], 1}},
-                    RateCategory::kSlow, 0.0,
-                    prefix + ".release.reg." + registers_[op.reg].name);
+        ctx.released_transfer(hb.red, triples[op.reg].blue,
+                              wires[op.results[0]],
+                              prefix + ".release.reg." +
+                                  registers_[op.reg].name);
         break;
       }
       case OpKind::kAdd: {
@@ -217,6 +207,7 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
         network.add({{wires[op.operands[1]], 1}},
                     {{wires[op.results[0]], 1}}, RateCategory::kFast, 0.0,
                     prefix + ".op.add");
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case OpKind::kFanout: {
@@ -226,6 +217,7 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
         }
         network.add({{wires[op.operands[0]], 1}}, std::move(products),
                     RateCategory::kFast, 0.0, prefix + ".op.fanout");
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case OpKind::kScale: {
@@ -235,16 +227,18 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
           network.add({{current, 1}},
                       {{wires[op.results[0]], op.scale_numerator}},
                       RateCategory::kFast, 0.0, prefix + ".op.scale");
+          ctx.tag_pending(compile::ReactionTag::kFastOp);
           break;
         }
         if (op.scale_numerator != 1) {
-          const SpeciesId scaled = network.add_species(
+          const SpeciesId scaled = ctx.species(
               prefix + "_sc" + std::to_string(scale_counter) + "_0");
           blue_members.push_back(scaled);
-          network.add({{compiled.ind_b, 1}, {scaled, 1}}, {{scaled, 1}},
-                      RateCategory::kFast, 0.0, prefix + ".ind.b.absorb");
+          ctx.indicator_absorb(compiled.ind_b, scaled,
+                               prefix + ".ind.b.absorb");
           network.add({{current, 1}}, {{scaled, op.scale_numerator}},
                       RateCategory::kFast, 0.0, prefix + ".op.scale");
+          ctx.tag_pending(compile::ReactionTag::kFastOp);
           current = scaled;
         }
         for (std::uint32_t stage = 1; stage <= op.scale_halvings; ++stage) {
@@ -252,14 +246,15 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
           if (stage == op.scale_halvings) {
             next = wires[op.results[0]];
           } else {
-            next = network.add_species(prefix + "_sc" +
-                                       std::to_string(scale_counter) + "_" +
-                                       std::to_string(stage));
-            network.add({{compiled.ind_b, 1}, {next, 1}}, {{next, 1}},
-                        RateCategory::kFast, 0.0, prefix + ".ind.b.absorb");
+            next = ctx.species(prefix + "_sc" +
+                               std::to_string(scale_counter) + "_" +
+                               std::to_string(stage));
+            ctx.indicator_absorb(compiled.ind_b, next,
+                                 prefix + ".ind.b.absorb");
           }
           network.add({{current, 2}}, {{next, 1}}, RateCategory::kFast, 0.0,
                       prefix + ".op.halve");
+          ctx.tag_pending(compile::ReactionTag::kFastOp);
           current = next;
         }
         ++scale_counter;
@@ -272,9 +267,10 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
   for (const Sink& sink : sinks_) {
     switch (sink.kind) {
       case SinkKind::kRegister: {
-        network.add({{wires[sink.signal], 1}}, {{reg_r[sink.reg], 1}},
+        network.add({{wires[sink.signal], 1}}, {{triples[sink.reg].red, 1}},
                     RateCategory::kFast, 0.0,
                     prefix + ".sink.reg." + registers_[sink.reg].name);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case SinkKind::kOutput: {
@@ -282,14 +278,44 @@ CompiledAsyncCircuit AsyncCircuitBuilder::compile_async(
                     {{compiled.outputs.at(sink.name), 1}},
                     RateCategory::kFast, 0.0,
                     prefix + ".sink.out." + sink.name);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case SinkKind::kDiscard: {
         network.add({{wires[sink.signal], 1}}, {}, RateCategory::kFast, 0.0,
                     prefix + ".discard");
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
     }
+  }
+
+  // --- passes ---------------------------------------------------------------
+  const double lowering_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    lowering_start)
+          .count();
+  const compile::FinalizeResult fin = ctx.finalize(options, lowering_seconds);
+  if (fin.optimized) {
+    auto remap_ports = [&](std::map<std::string, SpeciesId>& ports) {
+      for (auto it = ports.begin(); it != ports.end();) {
+        const SpeciesId mapped = fin(it->second);
+        if (mapped == SpeciesId::invalid()) {
+          it = ports.erase(it);
+        } else {
+          it->second = mapped;
+          ++it;
+        }
+      }
+    };
+    remap_ports(compiled.inputs);
+    remap_ports(compiled.outputs);
+    remap_ports(compiled.register_red);
+    compiled.pacing = fin(compiled.pacing);
+    compiled.pacing_inject = fin(compiled.pacing_inject);
+    compiled.ind_r = fin(compiled.ind_r);
+    compiled.ind_g = fin(compiled.ind_g);
+    compiled.ind_b = fin(compiled.ind_b);
   }
 
   return compiled;

@@ -81,9 +81,12 @@ class AsyncCircuitBuilder : public sync::CircuitBuilder {
  public:
   /// Lowers the circuit into `network` using the handshake discipline
   /// described above. The circuit must contain at least one register (the
-  /// pipeline paces on it).
-  CompiledAsyncCircuit compile_async(core::ReactionNetwork& network,
-                                     const std::string& prefix = "actk") const;
+  /// pipeline paces on it). Lowering goes through the shared
+  /// compile::LoweringContext; `options` selects validation and the
+  /// optimization level exactly as in sync::CircuitBuilder::compile.
+  CompiledAsyncCircuit compile_async(
+      core::ReactionNetwork& network, const std::string& prefix = "actk",
+      const compile::CompileOptions& options = {}) const;
 };
 
 }  // namespace mrsc::async

@@ -1,0 +1,40 @@
+#include "compile/compose.hpp"
+
+namespace mrsc::compile {
+
+namespace {
+using core::Reaction;
+using core::ReactionId;
+using core::ReactionNetwork;
+using core::SpeciesId;
+using core::Term;
+}  // namespace
+
+std::vector<SpeciesId> merge_network(ReactionNetwork& target,
+                                     const ReactionNetwork& source,
+                                     const std::string& prefix) {
+  std::vector<SpeciesId> map;
+  map.reserve(source.species_count());
+  for (std::size_t i = 0; i < source.species_count(); ++i) {
+    const SpeciesId id{static_cast<SpeciesId::underlying_type>(i)};
+    map.push_back(target.add_species(prefix + source.species_name(id),
+                                     source.initial(id)));
+  }
+  auto remap = [&](const std::vector<Term>& terms) {
+    std::vector<Term> out;
+    out.reserve(terms.size());
+    for (const Term& t : terms) {
+      out.push_back(Term{map[t.species.index()], t.stoich});
+    }
+    return out;
+  };
+  for (const Reaction& r : source.reactions()) {
+    const ReactionId id = target.add(remap(r.reactants()),
+                                     remap(r.products()), r.category(),
+                                     r.custom_rate(), r.label());
+    target.reaction_mutable(id).set_rate_multiplier(r.rate_multiplier());
+  }
+  return map;
+}
+
+}  // namespace mrsc::compile

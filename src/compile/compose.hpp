@@ -1,0 +1,27 @@
+// Network composition.
+//
+// Merging one reaction network into another under a species-name prefix,
+// so independently compiled designs can share one solution — the molecular
+// analogue of design reuse. The analysis companions (untouched_species,
+// unreachable_species) live in passes.hpp with the rest of the pass
+// framework.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mrsc::compile {
+
+/// Appends a copy of `source` into `target`. Every species of `source` is
+/// created in `target` as `prefix + name` (throws if that collides with an
+/// existing species); initial conditions, reaction categories, custom
+/// rates, per-reaction multipliers, and labels are preserved. The target's
+/// rate policy is left untouched. Returns, for each source species index,
+/// the corresponding id in `target`.
+std::vector<core::SpeciesId> merge_network(core::ReactionNetwork& target,
+                                           const core::ReactionNetwork& source,
+                                           const std::string& prefix);
+
+}  // namespace mrsc::compile

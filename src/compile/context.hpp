@@ -1,0 +1,143 @@
+// Shared lowering context for every circuit front-end.
+//
+// sync::CircuitBuilder, async::compile_async, fsm::build_fsm, and the dsp
+// counter/filter factories all target the same handful of reaction shapes:
+// clock-phase-gated slow transfers, register color-triple hops sharpened by
+// dimer positive feedback, un-gated fast combinational steps, absence
+// indicator generation/absorption, and pairwise annihilation. The
+// LoweringContext owns those emission helpers once, tags every emitted
+// reaction with its semantic role, collects the design's root species
+// (ports, clock phases, register state), and hands the finished network to
+// the PassManager in finalize().
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compile/passes.hpp"
+#include "core/network.hpp"
+
+namespace mrsc::compile {
+
+/// Why a species is part of the design's external interface.
+enum class PortRole : std::uint8_t { kInput, kOutput, kState, kClock };
+
+/// The three phase-colored copies of one register.
+struct ColorTriple {
+  core::SpeciesId red;
+  core::SpeciesId green;
+  core::SpeciesId blue;
+};
+
+/// What finalize() did to the network. Front-ends use operator() to remap
+/// the species ids in their returned handles; a handle that maps to
+/// SpeciesId::invalid() was eliminated (e.g. an assume-zero input cone).
+struct FinalizeResult {
+  bool optimized = false;
+  std::vector<core::SpeciesId> remap;  // original id -> final id
+
+  [[nodiscard]] core::SpeciesId operator()(core::SpeciesId id) const {
+    if (!optimized || id == core::SpeciesId::invalid()) return id;
+    return remap[id.index()];
+  }
+  [[nodiscard]] bool removed(core::SpeciesId id) const {
+    return (*this)(id) == core::SpeciesId::invalid();
+  }
+};
+
+class LoweringContext {
+ public:
+  /// Binds to `network`; reactions already present are left untouched by
+  /// every pass (their species are treated as roots).
+  LoweringContext(core::ReactionNetwork& network, std::string prefix);
+
+  [[nodiscard]] core::ReactionNetwork& network() { return network_; }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  // --- species ---------------------------------------------------------
+
+  core::SpeciesId species(const std::string& name, double initial = 0.0);
+
+  /// Creates `<prefix>_R_<name>`, `<prefix>_G_<name>`, `<prefix>_B_<name>`
+  /// in that order; the red copy holds the register's initial value.
+  ColorTriple color_triple(const std::string& name, double initial_red = 0.0);
+
+  /// Marks a species as part of the design's interface: it survives every
+  /// pass. kClock roots additionally serve as the legal gates for slow
+  /// transfers in the validation pass.
+  void declare_root(core::SpeciesId id, PortRole role);
+
+  // --- emission helpers ------------------------------------------------
+
+  /// Slow catalyzed transfer `from + gate -> to + gate` (gate appended, as
+  /// modules::transfer emits it).
+  void gated_transfer(core::SpeciesId from, core::SpeciesId to,
+                      core::SpeciesId gate, const std::string& label);
+
+  /// Slow catalyzed transfer `gate + from -> gate + to` (gate leading, the
+  /// release idiom used by the async heartbeat).
+  void released_transfer(core::SpeciesId gate, core::SpeciesId from,
+                         core::SpeciesId to, const std::string& label);
+
+  /// Fast un-gated transfer `from -> to`.
+  void fast_transfer(core::SpeciesId from, core::SpeciesId to,
+                     const std::string& label);
+
+  /// Slow phase-gated writeback `gate + primed -> gate + slave`.
+  void writeback(core::SpeciesId gate, core::SpeciesId primed,
+                 core::SpeciesId slave, const std::string& label);
+
+  /// Slow phase-gated drain `gate + victim -> gate`.
+  void gated_drain(core::SpeciesId gate, core::SpeciesId victim,
+                   const std::string& label);
+
+  /// Fast pairwise annihilation `a + b -> (nothing)`.
+  void annihilation(core::SpeciesId a, core::SpeciesId b,
+                    const std::string& label);
+
+  /// Absence indicator: zero-order generator `-> ind` (slow, rate scaled by
+  /// `gen_multiplier`) plus one fast absorption `ind + m -> m` per member.
+  /// Labels are `<label_prefix>.gen` / `<label_prefix>.absorb`.
+  void indicator(core::SpeciesId ind,
+                 std::span<const core::SpeciesId> members,
+                 double gen_multiplier, const std::string& label_prefix);
+
+  /// One extra fast absorption `ind + member -> member` for a species
+  /// created after the indicator block (e.g. scale intermediates).
+  void indicator_absorb(core::SpeciesId ind, core::SpeciesId member,
+                        const std::string& label);
+
+  /// Gated hop `gate + from -> to` (slow, seed rate scaled by
+  /// `seed_multiplier`) sharpened by dimer positive feedback: a dimer
+  /// species `dimer_name` with dimerize / undimerize / feedback reactions.
+  /// Labels are `<label_prefix>.seed` / `.dimerize` / `.undimerize` /
+  /// `.feedback`.
+  void sharpened_hop(core::SpeciesId from, core::SpeciesId to,
+                     core::SpeciesId gate, const std::string& label_prefix,
+                     const std::string& dimer_name,
+                     double seed_multiplier = 1.0, bool feedback = true);
+
+  /// Tags every reaction emitted since the last helper call (e.g. by a
+  /// modules:: combinational emitter invoked directly on network()).
+  void tag_pending(ReactionTag tag);
+
+  // --- finalize --------------------------------------------------------
+
+  /// Runs the pass pipeline selected by `options`: validation over the
+  /// tagged emission range, then (at kO1) the exact shrinking passes.
+  /// `lowering_seconds` is recorded into options.report when provided.
+  FinalizeResult finalize(const CompileOptions& options,
+                          double lowering_seconds = 0.0);
+
+ private:
+  core::ReactionNetwork& network_;
+  std::string prefix_;
+  std::size_t first_species_ = 0;
+  std::size_t first_reaction_ = 0;
+  std::vector<ReactionTag> tags_;
+  std::vector<std::pair<core::SpeciesId, PortRole>> roots_;
+};
+
+}  // namespace mrsc::compile

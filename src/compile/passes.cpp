@@ -1,0 +1,494 @@
+#include "compile/passes.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace mrsc::compile {
+
+namespace {
+
+using core::Reaction;
+using core::ReactionId;
+using core::ReactionNetwork;
+using core::SpeciesId;
+using core::Term;
+
+SpeciesId species_id(std::size_t index) {
+  return SpeciesId{static_cast<SpeciesId::underlying_type>(index)};
+}
+
+/// Canonical form of one reaction side: duplicate terms merged, sorted by
+/// species id. The mass-action propensity is invariant under both.
+std::vector<Term> canonical_side(const std::vector<Term>& terms) {
+  std::vector<Term> out;
+  for (const Term& t : terms) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const Term& have) {
+      return have.species == t.species;
+    });
+    if (it == out.end()) {
+      out.push_back(t);
+    } else {
+      it->stoich += t.stoich;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Term& a, const Term& b) {
+    return a.species.index() < b.species.index();
+  });
+  return out;
+}
+
+/// Rebuilds `network` with the same species but replacement reactions.
+/// Each entry of `reactions` carries the full reaction payload.
+struct ReactionSpec {
+  std::vector<Term> reactants;
+  std::vector<Term> products;
+  core::RateCategory category;
+  double custom_rate;
+  double multiplier;
+  std::string label;
+};
+
+void rebuild_reactions(ReactionNetwork& network,
+                       std::vector<ReactionSpec> reactions) {
+  ReactionNetwork rebuilt;
+  rebuilt.set_rate_policy(network.rate_policy());
+  for (std::size_t i = 0; i < network.species_count(); ++i) {
+    const SpeciesId id = species_id(i);
+    rebuilt.add_species(network.species_name(id), network.initial(id));
+  }
+  for (ReactionSpec& spec : reactions) {
+    const ReactionId id =
+        rebuilt.add(std::move(spec.reactants), std::move(spec.products),
+                    spec.category, spec.custom_rate, std::move(spec.label));
+    rebuilt.reaction_mutable(id).set_rate_multiplier(spec.multiplier);
+  }
+  network = std::move(rebuilt);
+}
+
+/// Stoichiometry of `species` within a term list (0 when absent).
+std::uint32_t stoich_of(const std::vector<Term>& terms, SpeciesId species) {
+  for (const Term& t : terms) {
+    if (t.species == species) return t.stoich;
+  }
+  return 0;
+}
+
+bool is_catalyst_in(const Reaction& r, SpeciesId species) {
+  const std::uint32_t consumed = stoich_of(r.reactants(), species);
+  return consumed > 0 && consumed == stoich_of(r.products(), species);
+}
+
+// --- validate ---------------------------------------------------------------
+
+class ValidatePass final : public Pass {
+ public:
+  const char* name() const override { return "validate"; }
+
+  bool run(PassContext& ctx) const override {
+    if (ctx.tags.empty()) {
+      ctx.notes.push_back("no emission tags: raw network, lint skipped");
+      return false;
+    }
+    std::vector<std::string> violations;
+    auto describe = [&](std::size_t index) {
+      const ReactionId id{static_cast<ReactionId::underlying_type>(index)};
+      const Reaction& r = ctx.network.reaction(id);
+      std::string text = "reaction #" + std::to_string(index);
+      if (!r.label().empty()) text += " [" + r.label() + "]";
+      return text;
+    };
+    for (std::size_t i = 0; i < ctx.tags.size(); ++i) {
+      const std::size_t index = ctx.first_tagged + i;
+      const ReactionId id{static_cast<ReactionId::underlying_type>(index)};
+      const Reaction& r = ctx.network.reaction(id);
+
+      // Catalyst balance: a species appearing on both sides must appear
+      // with equal stoichiometry — lowered designs never emit reactions
+      // that covertly create or destroy their own catalysts.
+      for (const Term& t : r.reactants()) {
+        const std::uint32_t produced = stoich_of(r.products(), t.species);
+        if (produced > 0 && produced != t.stoich) {
+          violations.push_back(
+              describe(index) + ": species '" +
+              ctx.network.species_name(t.species) +
+              "' appears on both sides with unbalanced stoichiometry (" +
+              std::to_string(t.stoich) + " -> " + std::to_string(produced) +
+              ")");
+        }
+      }
+
+      switch (ctx.tags[i]) {
+        case ReactionTag::kGatedTransfer:
+        case ReactionTag::kWriteback:
+        case ReactionTag::kDrain: {
+          // Every slow transfer must be gated on a clock-phase catalyst so
+          // it only proceeds during its assigned phase.
+          if (r.category() != core::RateCategory::kSlow) {
+            violations.push_back(describe(index) +
+                                 ": gated transfer is not slow");
+            break;
+          }
+          bool gated = false;
+          for (const SpeciesId clock : ctx.clock_roots) {
+            if (is_catalyst_in(r, clock)) {
+              gated = true;
+              break;
+            }
+          }
+          if (!gated) {
+            violations.push_back(
+                describe(index) +
+                ": slow transfer is not catalyzed by any clock phase");
+          }
+          break;
+        }
+        case ReactionTag::kFastOp:
+        case ReactionTag::kAnnihilation:
+          if (r.category() != core::RateCategory::kFast) {
+            violations.push_back(describe(index) +
+                                 ": combinational step is not fast");
+          }
+          break;
+        case ReactionTag::kIndicator:
+          // Generators are zero-order and slow; absorptions are fast.
+          if (r.reactants().empty()) {
+            if (r.category() != core::RateCategory::kSlow) {
+              violations.push_back(describe(index) +
+                                   ": indicator generator is not slow");
+            }
+          } else if (r.category() != core::RateCategory::kFast) {
+            violations.push_back(describe(index) +
+                                 ": indicator absorption is not fast");
+          }
+          break;
+        case ReactionTag::kClockwork:
+        case ReactionTag::kUntagged:
+          break;
+      }
+    }
+    if (!violations.empty()) {
+      std::string message = "compile validation failed:";
+      for (const std::string& v : violations) message += "\n  " + v;
+      throw std::logic_error(message);
+    }
+    ctx.notes.push_back("checked " + std::to_string(ctx.tags.size()) +
+                        " lowered reactions");
+    return false;
+  }
+};
+
+// --- canonicalize -----------------------------------------------------------
+
+class CanonicalizePass final : public Pass {
+ public:
+  const char* name() const override { return "canonicalize"; }
+
+  bool run(PassContext& ctx) const override {
+    std::vector<ReactionSpec> specs;
+    specs.reserve(ctx.network.reaction_count());
+    std::size_t rewritten = 0;
+    for (const Reaction& r : ctx.network.reactions()) {
+      ReactionSpec spec{canonical_side(r.reactants()),
+                        canonical_side(r.products()), r.category(),
+                        r.custom_rate(), r.rate_multiplier(), r.label()};
+      if (spec.reactants != r.reactants() || spec.products != r.products()) {
+        ++rewritten;
+      }
+      specs.push_back(std::move(spec));
+    }
+    if (rewritten == 0) return false;
+    rebuild_reactions(ctx.network, std::move(specs));
+    ctx.notes.push_back("rewrote " + std::to_string(rewritten) +
+                        " reactions into canonical term order");
+    return true;
+  }
+};
+
+// --- coalesce-duplicates ----------------------------------------------------
+
+class CoalesceDuplicatesPass final : public Pass {
+ public:
+  const char* name() const override { return "coalesce-duplicates"; }
+
+  bool run(PassContext& ctx) const override {
+    // Requires canonical term order (the manager runs canonicalize first).
+    using SideKey = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+    using Key = std::tuple<int, double, SideKey, SideKey>;
+    auto side_key = [](const std::vector<Term>& terms) {
+      SideKey key;
+      key.reserve(terms.size());
+      for (const Term& t : terms) {
+        key.emplace_back(t.species.index(), t.stoich);
+      }
+      return key;
+    };
+    std::map<Key, std::size_t> first_of;
+    std::vector<ReactionSpec> specs;
+    std::size_t merged = 0;
+    for (const Reaction& r : ctx.network.reactions()) {
+      Key key{static_cast<int>(r.category()), r.custom_rate(),
+              side_key(canonical_side(r.reactants())),
+              side_key(canonical_side(r.products()))};
+      const auto [it, inserted] = first_of.emplace(key, specs.size());
+      if (inserted) {
+        specs.push_back(ReactionSpec{r.reactants(), r.products(),
+                                     r.category(), r.custom_rate(),
+                                     r.rate_multiplier(), r.label()});
+      } else {
+        // Identical mass-action term: one reaction with the summed
+        // multiplier contributes the same propensity/derivative exactly.
+        specs[it->second].multiplier += r.rate_multiplier();
+        ++merged;
+      }
+    }
+    if (merged == 0) return false;
+    rebuild_reactions(ctx.network, std::move(specs));
+    ctx.notes.push_back("merged " + std::to_string(merged) +
+                        " duplicate reactions (rate multipliers summed)");
+    return true;
+  }
+};
+
+// --- dead-species-elimination -----------------------------------------------
+
+std::vector<bool> reachable_set(const ReactionNetwork& network,
+                                std::span<const SpeciesId> roots) {
+  std::vector<bool> reachable(network.species_count(), false);
+  for (std::size_t i = 0; i < network.species_count(); ++i) {
+    if (network.initial(species_id(i)) != 0.0) reachable[i] = true;
+  }
+  for (const SpeciesId root : roots) reachable[root.index()] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Reaction& r : network.reactions()) {
+      bool fireable = true;
+      for (const Term& t : r.reactants()) {
+        if (!reachable[t.species.index()]) {
+          fireable = false;
+          break;
+        }
+      }
+      if (!fireable) continue;
+      for (const Term& t : r.products()) {
+        if (!reachable[t.species.index()]) {
+          reachable[t.species.index()] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+class DeadSpeciesEliminationPass final : public Pass {
+ public:
+  const char* name() const override { return "dead-species-elim"; }
+
+  bool run(PassContext& ctx) const override {
+    const std::vector<bool> reachable = reachable_set(ctx.network, ctx.roots);
+    // A reaction with an unreachable reactant has propensity identically
+    // zero for all time: removing it (and the species it was keeping in
+    // the table) is exact.
+    std::vector<bool> live(ctx.network.reaction_count(), true);
+    std::size_t dead_reactions = 0;
+    std::size_t index = 0;
+    for (const Reaction& r : ctx.network.reactions()) {
+      for (const Term& t : r.reactants()) {
+        if (!reachable[t.species.index()]) {
+          live[index] = false;
+          ++dead_reactions;
+          break;
+        }
+      }
+      ++index;
+    }
+    std::size_t dead_species = 0;
+    for (std::size_t i = 0; i < reachable.size(); ++i) {
+      if (!reachable[i]) ++dead_species;
+    }
+    if (dead_species == 0 && dead_reactions == 0) return false;
+
+    ReactionNetwork rebuilt;
+    rebuilt.set_rate_policy(ctx.network.rate_policy());
+    std::vector<SpeciesId> to_new(ctx.network.species_count(),
+                                  SpeciesId::invalid());
+    for (std::size_t i = 0; i < ctx.network.species_count(); ++i) {
+      if (!reachable[i]) continue;
+      const SpeciesId old = species_id(i);
+      to_new[i] = rebuilt.add_species(ctx.network.species_name(old),
+                                      ctx.network.initial(old));
+    }
+    auto remap_terms = [&](const std::vector<Term>& terms) {
+      std::vector<Term> out;
+      out.reserve(terms.size());
+      for (const Term& t : terms) {
+        out.push_back(Term{to_new[t.species.index()], t.stoich});
+      }
+      return out;
+    };
+    index = 0;
+    for (const Reaction& r : ctx.network.reactions()) {
+      if (live[index++]) {
+        const ReactionId id =
+            rebuilt.add(remap_terms(r.reactants()), remap_terms(r.products()),
+                        r.category(), r.custom_rate(), r.label());
+        rebuilt.reaction_mutable(id).set_rate_multiplier(r.rate_multiplier());
+      }
+    }
+    ctx.network = std::move(rebuilt);
+    for (SpeciesId& root : ctx.roots) root = to_new[root.index()];
+    for (SpeciesId& mapped : ctx.remap) {
+      if (mapped != SpeciesId::invalid()) mapped = to_new[mapped.index()];
+    }
+    ctx.notes.push_back("removed " + std::to_string(dead_species) +
+                        " dead species and " + std::to_string(dead_reactions) +
+                        " dead reactions");
+    return true;
+  }
+};
+
+// --- factor-catalysts -------------------------------------------------------
+
+class FactorCatalystsPass final : public Pass {
+ public:
+  const char* name() const override { return "factor-catalysts"; }
+
+  bool run(PassContext& ctx) const override {
+    // Analysis only: report how many reactions each catalyst gates. A large
+    // shared group is the candidate set for enzyme-sequestration style
+    // factoring; rewriting them would change transient dynamics, so the
+    // pass observes and never mutates.
+    std::vector<std::size_t> gated(ctx.network.species_count(), 0);
+    for (const Reaction& r : ctx.network.reactions()) {
+      for (const Term& t : r.reactants()) {
+        if (is_catalyst_in(r, t.species)) ++gated[t.species.index()];
+      }
+    }
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < gated.size(); ++i) {
+      if (gated[i] >= 2) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return gated[a] > gated[b];
+    });
+    const std::size_t top = std::min<std::size_t>(order.size(), 3);
+    for (std::size_t i = 0; i < top; ++i) {
+      ctx.notes.push_back(
+          "catalyst '" + ctx.network.species_name(species_id(order[i])) +
+          "' gates " + std::to_string(gated[order[i]]) + " reactions");
+    }
+    if (order.empty()) ctx.notes.push_back("no shared catalyst groups");
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_validate_pass() {
+  return std::make_unique<ValidatePass>();
+}
+std::unique_ptr<Pass> make_canonicalize_pass() {
+  return std::make_unique<CanonicalizePass>();
+}
+std::unique_ptr<Pass> make_coalesce_duplicates_pass() {
+  return std::make_unique<CoalesceDuplicatesPass>();
+}
+std::unique_ptr<Pass> make_dead_species_elimination_pass() {
+  return std::make_unique<DeadSpeciesEliminationPass>();
+}
+std::unique_ptr<Pass> make_factor_catalysts_pass() {
+  return std::make_unique<FactorCatalystsPass>();
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager PassManager::standard(OptLevel level, bool validate) {
+  PassManager manager;
+  if (validate) manager.add(make_validate_pass());
+  if (level >= OptLevel::kO1) {
+    manager.add(make_canonicalize_pass());
+    manager.add(make_coalesce_duplicates_pass());
+    manager.add(make_dead_species_elimination_pass());
+    manager.add(make_factor_catalysts_pass());
+  }
+  return manager;
+}
+
+std::vector<SpeciesId> PassManager::run(ReactionNetwork& network,
+                                        const PipelineInputs& inputs,
+                                        CompileReport* report) const {
+  std::vector<SpeciesId> remap;
+  remap.reserve(network.species_count());
+  for (std::size_t i = 0; i < network.species_count(); ++i) {
+    remap.push_back(species_id(i));
+  }
+  std::vector<SpeciesId> roots = inputs.roots;
+  if (report) report->before = core::compute_stats(network);
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassContext ctx{network, roots,        remap,
+                    inputs.clock_roots,    inputs.tags,
+                    inputs.first_tagged,   {}};
+    PassStats stats;
+    stats.name = pass->name();
+    stats.species_before = network.species_count();
+    stats.reactions_before = network.reaction_count();
+    const auto start = std::chrono::steady_clock::now();
+    stats.changed = pass->run(ctx);
+    const auto stop = std::chrono::steady_clock::now();
+    stats.wall_seconds =
+        std::chrono::duration<double>(stop - start).count();
+    stats.species_after = network.species_count();
+    stats.reactions_after = network.reaction_count();
+    stats.notes = std::move(ctx.notes);
+    if (report) {
+      report->pass_seconds += stats.wall_seconds;
+      report->passes.push_back(std::move(stats));
+    }
+  }
+  if (report) report->after = core::compute_stats(network);
+  return remap;
+}
+
+OptimizeResult optimize_network(ReactionNetwork& network,
+                                std::span<const SpeciesId> roots,
+                                OptLevel level) {
+  const PassManager manager = PassManager::standard(level, /*validate=*/false);
+  PipelineInputs inputs;
+  inputs.roots.assign(roots.begin(), roots.end());
+  OptimizeResult result;
+  result.remap = manager.run(network, inputs, &result.report);
+  return result;
+}
+
+std::vector<SpeciesId> untouched_species(const ReactionNetwork& network) {
+  std::vector<bool> touched(network.species_count(), false);
+  for (const Reaction& r : network.reactions()) {
+    for (const Term& t : r.reactants()) touched[t.species.index()] = true;
+    for (const Term& t : r.products()) touched[t.species.index()] = true;
+  }
+  std::vector<SpeciesId> out;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (!touched[i]) out.push_back(species_id(i));
+  }
+  return out;
+}
+
+std::vector<SpeciesId> unreachable_species(const ReactionNetwork& network,
+                                           std::span<const SpeciesId> roots) {
+  const std::vector<bool> reachable = reachable_set(network, roots);
+  std::vector<SpeciesId> out;
+  for (std::size_t i = 0; i < reachable.size(); ++i) {
+    if (!reachable[i]) out.push_back(species_id(i));
+  }
+  return out;
+}
+
+}  // namespace mrsc::compile

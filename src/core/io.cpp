@@ -54,15 +54,19 @@ std::string serialize_network(const ReactionNetwork& network) {
   for (const Reaction& r : network.reactions()) {
     switch (r.category()) {
       case RateCategory::kSlow:
-        out << "slow : ";
+        out << "slow";
         break;
       case RateCategory::kFast:
-        out << "fast : ";
+        out << "fast";
         break;
       case RateCategory::kCustom:
-        out << r.custom_rate() << " : ";
+        out << r.custom_rate();
         break;
     }
+    // Rate multipliers ("slow*0.25 : ...") carry the clock's stretched hop
+    // seeds and the coalescing pass's summed duplicates through a round-trip.
+    if (r.rate_multiplier() != 1.0) out << "*" << r.rate_multiplier();
+    out << " : ";
     format_side(out, network, r.reactants());
     out << " -> ";
     format_side(out, network, r.products());
@@ -128,7 +132,7 @@ ReactionNetwork parse_network(std::string_view text) {
     if (colon == std::string_view::npos) {
       fail(line_number, "expected '<rate> : <reaction>'");
     }
-    const std::string rate_spec{trim(line.substr(0, colon))};
+    std::string rate_spec{trim(line.substr(0, colon))};
     std::string_view rest = trim(line.substr(colon + 1));
     std::string label;
     if (const std::size_t bar = rest.find('|');
@@ -136,13 +140,29 @@ ReactionNetwork parse_network(std::string_view text) {
       label = std::string(trim(rest.substr(bar + 1)));
       rest = trim(rest.substr(0, bar));
     }
+    // Optional "*<multiplier>" suffix on the rate spec.
+    double multiplier = 1.0;
+    if (const std::size_t star = rate_spec.find('*');
+        star != std::string::npos) {
+      try {
+        multiplier = std::stod(rate_spec.substr(star + 1));
+      } catch (const std::exception&) {
+        fail(line_number, "bad rate multiplier '" + rate_spec + "'");
+      }
+      rate_spec = std::string(trim(
+          std::string_view(rate_spec).substr(0, star)));
+    }
     try {
+      ReactionId id;
       if (rate_spec == "slow") {
-        builder.reaction(rest, RateCategory::kSlow, label);
+        id = builder.reaction(rest, RateCategory::kSlow, label);
       } else if (rate_spec == "fast") {
-        builder.reaction(rest, RateCategory::kFast, label);
+        id = builder.reaction(rest, RateCategory::kFast, label);
       } else {
-        builder.reaction(rest, std::stod(rate_spec), label);
+        id = builder.reaction(rest, std::stod(rate_spec), label);
+      }
+      if (multiplier != 1.0) {
+        network.reaction_mutable(id).set_rate_multiplier(multiplier);
       }
     } catch (const std::exception& error) {
       fail(line_number, error.what());

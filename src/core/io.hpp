@@ -8,6 +8,11 @@
 //   slow : b + R1 -> G1 | clock.seed
 //   fast : 2 G1 -> I_G1
 //   2.5  : A -> 0
+//   slow*0.25 : 0 -> I_G1 | clock.ind
+//
+// A rate spec may carry a "*<multiplier>" suffix: the reaction's rate is the
+// category rate (or custom rate) scaled by that factor. The stretched clock
+// hop seeds and the coalescing pass's summed duplicates round-trip this way.
 //
 // Species lines are emitted for *every* species in id order so that parsing a
 // serialized network reproduces identical SpeciesId assignments (round-trip

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/passes.hpp"
 #include "core/network.hpp"
 #include "sync/clock.hpp"
 
@@ -45,9 +46,13 @@ struct CounterHandles {
   std::vector<core::SpeciesId> one_rail;   ///< slaves O_i
 };
 
-/// Emits the counter (clock included) into `network`.
+/// Emits the counter (clock included) into `network` through the shared
+/// lowering context; `options` selects validation and the pass pipeline.
+/// Every rail species is a pipeline root, so the vectors in CounterHandles
+/// keep their positional meaning at any optimization level.
 CounterHandles build_counter(core::ReactionNetwork& network,
-                             const CounterSpec& spec);
+                             const CounterSpec& spec,
+                             const compile::CompileOptions& options = {});
 
 /// Reads the counter value from a state vector by thresholding each bit's
 /// rails at 0.5 (O_i > Z_i decides when both are mid-transfer).

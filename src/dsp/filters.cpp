@@ -9,7 +9,8 @@
 
 namespace mrsc::dsp {
 
-Design make_delay_line(std::size_t stages, const sync::ClockSpec& clock) {
+Design make_delay_line(std::size_t stages, const sync::ClockSpec& clock,
+                       const compile::CompileOptions& options) {
   if (stages == 0) {
     throw std::invalid_argument("make_delay_line: need >= 1 stage");
   }
@@ -26,11 +27,12 @@ Design make_delay_line(std::size_t stages, const sync::ClockSpec& clock) {
 
   Design design;
   design.network = std::make_unique<core::ReactionNetwork>();
-  design.circuit = builder.compile(*design.network, clock, "dly");
+  design.circuit = builder.compile(*design.network, clock, "dly", options);
   return design;
 }
 
-Design make_moving_average(const sync::ClockSpec& clock) {
+Design make_moving_average(const sync::ClockSpec& clock,
+                           const compile::CompileOptions& options) {
   sync::CircuitBuilder builder;
   const sync::Sig x = builder.input("x");
   const auto copies = builder.fanout(x, 2);
@@ -43,11 +45,12 @@ Design make_moving_average(const sync::ClockSpec& clock) {
 
   Design design;
   design.network = std::make_unique<core::ReactionNetwork>();
-  design.circuit = builder.compile(*design.network, clock, "ma");
+  design.circuit = builder.compile(*design.network, clock, "ma", options);
   return design;
 }
 
-Design make_second_order_iir(const sync::ClockSpec& clock) {
+Design make_second_order_iir(const sync::ClockSpec& clock,
+                             const compile::CompileOptions& options) {
   sync::CircuitBuilder builder;
   const sync::Sig x = builder.input("x");
   const sync::Reg reg1 = builder.add_register("y1", 0.0);  // y[n-1]
@@ -68,11 +71,12 @@ Design make_second_order_iir(const sync::ClockSpec& clock) {
 
   Design design;
   design.network = std::make_unique<core::ReactionNetwork>();
-  design.circuit = builder.compile(*design.network, clock, "iir");
+  design.circuit = builder.compile(*design.network, clock, "iir", options);
   return design;
 }
 
-Design make_first_difference(const sync::ClockSpec& clock) {
+Design make_first_difference(const sync::ClockSpec& clock,
+                             const compile::CompileOptions& options) {
   sync::CircuitBuilder base;
   sync::DualRailBuilder builder(base);
   const sync::DSig x = builder.input("x");
@@ -84,7 +88,7 @@ Design make_first_difference(const sync::ClockSpec& clock) {
 
   Design design;
   design.network = std::make_unique<core::ReactionNetwork>();
-  design.circuit = base.compile(*design.network, clock, "fd");
+  design.circuit = base.compile(*design.network, clock, "fd", options);
   return design;
 }
 
@@ -135,7 +139,8 @@ double tap_value(const DyadicTap& tap) {
 }
 
 Design make_fir(std::span<const DyadicTap> taps,
-                const sync::ClockSpec& clock) {
+                const sync::ClockSpec& clock,
+                const compile::CompileOptions& options) {
   if (taps.empty()) {
     throw std::invalid_argument("make_fir: need at least one tap");
   }
@@ -153,7 +158,8 @@ Design make_fir(std::span<const DyadicTap> taps,
           return builder.scale(value, tap.numerator, tap.halvings);
         });
     builder.output("y", y);
-    design.circuit = builder.compile(*design.network, clock, "fir");
+    design.circuit =
+        builder.compile(*design.network, clock, "fir", options);
     return design;
   }
 
@@ -168,11 +174,12 @@ Design make_fir(std::span<const DyadicTap> taps,
             return tap.negative ? builder.negate(scaled) : scaled;
           });
   builder.output("y", y);
-  design.circuit = base.compile(*design.network, clock, "fir");
+  design.circuit = base.compile(*design.network, clock, "fir", options);
   return design;
 }
 
-Design make_signed_biquad(const sync::ClockSpec& clock) {
+Design make_signed_biquad(const sync::ClockSpec& clock,
+                          const compile::CompileOptions& options) {
   sync::CircuitBuilder base;
   sync::DualRailBuilder builder(base);
   const sync::DSig x = builder.input("x");
@@ -194,7 +201,7 @@ Design make_signed_biquad(const sync::ClockSpec& clock) {
 
   Design design;
   design.network = std::make_unique<core::ReactionNetwork>();
-  design.circuit = base.compile(*design.network, clock, "sbq");
+  design.circuit = base.compile(*design.network, clock, "sbq", options);
   return design;
 }
 

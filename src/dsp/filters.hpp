@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "compile/passes.hpp"
 #include "core/network.hpp"
 #include "sync/circuit.hpp"
 
@@ -28,22 +29,31 @@ struct Design {
   sync::CompiledCircuit circuit;
 };
 
-/// y[n] = x[n - stages].
-[[nodiscard]] Design make_delay_line(std::size_t stages,
-                                     const sync::ClockSpec& clock = {});
+/// y[n] = x[n - stages]. All factories forward `options` to
+/// sync::CircuitBuilder::compile, so callers pick the optimization level and
+/// per-pass reporting of the shared lowering pipeline.
+[[nodiscard]] Design make_delay_line(
+    std::size_t stages, const sync::ClockSpec& clock = {},
+    const compile::CompileOptions& options = {});
 
 /// y[n] = (x[n] + x[n-1]) / 2.
-[[nodiscard]] Design make_moving_average(const sync::ClockSpec& clock = {});
+[[nodiscard]] Design make_moving_average(
+    const sync::ClockSpec& clock = {},
+    const compile::CompileOptions& options = {});
 
 /// y[n] = x[n] + y[n-1]/2 + y[n-2]/4  (stable: poles at ~0.809 and ~-0.309).
-[[nodiscard]] Design make_second_order_iir(const sync::ClockSpec& clock = {});
+[[nodiscard]] Design make_second_order_iir(
+    const sync::ClockSpec& clock = {},
+    const compile::CompileOptions& options = {});
 
 /// y[n] = x[n] - x[n-1] (first difference; a *negative* coefficient). The
 /// output is signed and therefore dual-rail: read ports "y_p" / "y_n" via
 /// `analysis::run_clocked_circuit_multi` + `analysis::signed_series`. The
 /// unused negative rail of the input exists as port "x_n" (leave undriven
 /// for non-negative input streams).
-[[nodiscard]] Design make_first_difference(const sync::ClockSpec& clock = {});
+[[nodiscard]] Design make_first_difference(
+    const sync::ClockSpec& clock = {},
+    const compile::CompileOptions& options = {});
 
 /// A dyadic-rational FIR coefficient: value = numerator / 2^halvings,
 /// negated when `negative` is set.
@@ -58,12 +68,15 @@ struct DyadicTap {
 /// "y_p"/"y_n") whenever any tap is negative, plain single-rail (ports
 /// "x"/"y") otherwise; `Design::circuit.outputs` tells which.
 [[nodiscard]] Design make_fir(std::span<const DyadicTap> taps,
-                              const sync::ClockSpec& clock = {});
+                              const sync::ClockSpec& clock = {},
+                              const compile::CompileOptions& options = {});
 
 /// True biquad with signed feedback, y[n] = x[n] - y[n-1]/2 - y[n-2]/4
 /// (poles at magnitude 1/2: a genuinely oscillatory impulse response).
 /// Dual-rail ports as in make_first_difference.
-[[nodiscard]] Design make_signed_biquad(const sync::ClockSpec& clock = {});
+[[nodiscard]] Design make_signed_biquad(
+    const sync::ClockSpec& clock = {},
+    const compile::CompileOptions& options = {});
 
 // --- exact reference models (golden) ---------------------------------------
 

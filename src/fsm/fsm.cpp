@@ -1,5 +1,6 @@
 #include "fsm/fsm.hpp"
 
+#include <chrono>
 #include <map>
 #include <stdexcept>
 
@@ -48,28 +49,44 @@ void FsmSpec::validate() const {
   }
 }
 
-FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec) {
+FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec,
+                     const compile::CompileOptions& options) {
   spec.validate();
   const std::string& p = spec.prefix;
   sync::ClockSpec clock_spec = spec.clock;
   if (clock_spec.prefix == "clk") clock_spec.prefix = p + "_clk";
 
+  const auto lowering_start = std::chrono::steady_clock::now();
+  compile::LoweringContext ctx(network, p);
+
   FsmHandles handles;
-  handles.clock = sync::build_clock(network, clock_spec);
+  handles.clock = sync::build_clock(ctx, clock_spec);
 
   for (std::size_t s = 0; s < spec.num_states; ++s) {
-    handles.state.push_back(network.add_species(
+    handles.state.push_back(ctx.species(
         p + "_Q" + std::to_string(s), s == spec.initial_state ? 1.0 : 0.0));
     handles.state_primed.push_back(
-        network.add_species(p + "_Qp" + std::to_string(s)));
+        ctx.species(p + "_Qp" + std::to_string(s)));
   }
   for (std::size_t a = 0; a < spec.num_inputs; ++a) {
-    handles.input.push_back(
-        network.add_species(p + "_I" + std::to_string(a)));
+    handles.input.push_back(ctx.species(p + "_I" + std::to_string(a)));
   }
   for (std::size_t x = 0; x < spec.num_outputs; ++x) {
-    handles.output.push_back(
-        network.add_species(p + "_O" + std::to_string(x)));
+    handles.output.push_back(ctx.species(p + "_O" + std::to_string(x)));
+  }
+  // Every handle is a root: the one-hot state vectors are positional, so
+  // even a state unreachable from the initial state must keep its species.
+  for (const SpeciesId id : handles.state) {
+    ctx.declare_root(id, compile::PortRole::kState);
+  }
+  for (const SpeciesId id : handles.state_primed) {
+    ctx.declare_root(id, compile::PortRole::kState);
+  }
+  for (const SpeciesId id : handles.input) {
+    ctx.declare_root(id, compile::PortRole::kInput);
+  }
+  for (const SpeciesId id : handles.output) {
+    ctx.declare_root(id, compile::PortRole::kOutput);
   }
 
   // Transitions: I_a + Q_s -> Q'_{s'} (+ O_x).
@@ -83,15 +100,32 @@ FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec) {
       network.add({{handles.input[a], 1}, {handles.state[s], 1}},
                   std::move(products), RateCategory::kFast, 0.0,
                   p + ".t.s" + std::to_string(s) + ".a" + std::to_string(a));
+      ctx.tag_pending(compile::ReactionTag::kFastOp);
     }
   }
 
   // Write-back (blue phase): primed masters -> slaves.
   for (std::size_t s = 0; s < spec.num_states; ++s) {
-    network.add(
-        {{handles.clock.phase_b, 1}, {handles.state_primed[s], 1}},
-        {{handles.clock.phase_b, 1}, {handles.state[s], 1}},
-        RateCategory::kSlow, 0.0, p + ".writeback.s" + std::to_string(s));
+    ctx.writeback(handles.clock.phase_b, handles.state_primed[s],
+                  handles.state[s], p + ".writeback.s" + std::to_string(s));
+  }
+
+  const double lowering_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    lowering_start)
+          .count();
+  const compile::FinalizeResult fin = ctx.finalize(options, lowering_seconds);
+  if (fin.optimized) {
+    for (SpeciesId& id : handles.state) id = fin(id);
+    for (SpeciesId& id : handles.state_primed) id = fin(id);
+    for (SpeciesId& id : handles.input) id = fin(id);
+    for (SpeciesId& id : handles.output) id = fin(id);
+    handles.clock.phase_r = fin(handles.clock.phase_r);
+    handles.clock.phase_g = fin(handles.clock.phase_g);
+    handles.clock.phase_b = fin(handles.clock.phase_b);
+    handles.clock.ind_r = fin(handles.clock.ind_r);
+    handles.clock.ind_g = fin(handles.clock.ind_g);
+    handles.clock.ind_b = fin(handles.clock.ind_b);
   }
   return handles;
 }

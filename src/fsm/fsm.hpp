@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "compile/passes.hpp"
 #include "core/network.hpp"
 #include "sync/clock.hpp"
 
@@ -64,8 +65,12 @@ struct FsmHandles {
   std::vector<core::SpeciesId> output;  ///< sample O_x on C_R rising
 };
 
-/// Emits the machine (clock included) into `network`.
-FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec);
+/// Emits the machine (clock included) into `network` through the shared
+/// lowering context; `options` selects validation and the pass pipeline.
+/// Every handle species is a pipeline root, so the vectors in FsmHandles
+/// keep their positional meaning at any optimization level.
+FsmHandles build_fsm(core::ReactionNetwork& network, const FsmSpec& spec,
+                     const compile::CompileOptions& options = {});
 
 /// Reads the current state from a state vector (argmax over the one-hot
 /// slave rails).

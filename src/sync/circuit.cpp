@@ -1,5 +1,6 @@
 #include "sync/circuit.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "modules/combinational.hpp"
@@ -7,9 +8,19 @@
 namespace mrsc::sync {
 
 namespace {
+
 using core::RateCategory;
 using core::SpeciesId;
 using core::Term;
+
+/// "file.cpp:42" — the directory part of __FILE__ is noise in a diagnostic.
+std::string site(const std::source_location& loc) {
+  std::string file = loc.file_name();
+  const std::size_t slash = file.find_last_of('/');
+  if (slash != std::string::npos) file = file.substr(slash + 1);
+  return file + ":" + std::to_string(loc.line());
+}
+
 }  // namespace
 
 core::SpeciesId CompiledCircuit::input(const std::string& name) const {
@@ -36,83 +47,109 @@ core::SpeciesId CompiledCircuit::state(const std::string& name) const {
   return it->second;
 }
 
-Sig CircuitBuilder::new_sig() {
+Sig CircuitBuilder::new_sig(const std::source_location& loc) {
   sig_consumed_.push_back(false);
+  SigSite sites;
+  sites.defined_at = loc;
+  sig_sites_.push_back(sites);
   return Sig{sig_count_++};
 }
 
-void CircuitBuilder::mark_consumed(Sig sig, const char* by) {
+void CircuitBuilder::mark_consumed(Sig sig, const char* by,
+                                   const std::source_location& loc) {
   if (!sig.valid() || sig.index >= sig_count_) {
     throw std::logic_error(std::string("CircuitBuilder: invalid signal "
                                        "passed to ") +
-                           by);
+                           by + " at " + site(loc));
   }
   if (sig_consumed_[sig.index]) {
-    throw std::logic_error("CircuitBuilder: signal #" +
-                           std::to_string(sig.index) +
-                           " consumed twice (second consumer: " + by +
-                           "); use fanout() for multiple consumers");
+    const SigSite& sites = sig_sites_[sig.index];
+    throw std::logic_error(
+        "CircuitBuilder: signal #" + std::to_string(sig.index) +
+        " consumed twice (defined at " + site(sites.defined_at) +
+        "; first consumed by " + sites.consumed_by + " at " +
+        site(sites.consumed_at) + "; second consumer: " + by + " at " +
+        site(loc) + "); use fanout() for multiple consumers");
   }
   sig_consumed_[sig.index] = true;
+  sig_sites_[sig.index].consumed_by = by;
+  sig_sites_[sig.index].consumed_at = loc;
 }
 
-Sig CircuitBuilder::input(const std::string& name) {
+Sig CircuitBuilder::input(const std::string& name, std::source_location loc) {
   Op op;
   op.kind = OpKind::kInput;
   op.name = name;
-  const Sig result = new_sig();
+  const Sig result = new_sig(loc);
   op.results = {result.index};
   ops_.push_back(std::move(op));
   return result;
 }
 
-Reg CircuitBuilder::add_register(const std::string& name, double initial) {
-  registers_.push_back(RegisterDecl{name, initial, false, false});
+Reg CircuitBuilder::add_register(const std::string& name, double initial,
+                                 std::source_location loc) {
+  RegisterDecl decl;
+  decl.name = name;
+  decl.initial = initial;
+  decl.declared_at = loc;
+  registers_.push_back(std::move(decl));
   return Reg{static_cast<std::uint32_t>(registers_.size() - 1)};
 }
 
-Sig CircuitBuilder::read(Reg reg) {
+Sig CircuitBuilder::read(Reg reg, std::source_location loc) {
   if (reg.index >= registers_.size()) {
-    throw std::logic_error("CircuitBuilder::read: invalid register");
+    throw std::logic_error("CircuitBuilder::read: invalid register at " +
+                           site(loc));
   }
   if (registers_[reg.index].read_done) {
-    throw std::logic_error("CircuitBuilder::read: register '" +
-                           registers_[reg.index].name +
-                           "' read twice; use fanout() on the read value");
+    throw std::logic_error(
+        "CircuitBuilder::read: register '" + registers_[reg.index].name +
+        "' read twice (declared at " +
+        site(registers_[reg.index].declared_at) + "; first read at " +
+        site(registers_[reg.index].read_at) + "; second read at " +
+        site(loc) + "); use fanout() on the read value");
   }
   registers_[reg.index].read_done = true;
+  registers_[reg.index].read_at = loc;
   Op op;
   op.kind = OpKind::kRead;
   op.reg = reg.index;
-  const Sig result = new_sig();
+  const Sig result = new_sig(loc);
   op.results = {result.index};
   ops_.push_back(std::move(op));
   return result;
 }
 
-void CircuitBuilder::write(Reg reg, Sig value) {
+void CircuitBuilder::write(Reg reg, Sig value, std::source_location loc) {
   if (reg.index >= registers_.size()) {
-    throw std::logic_error("CircuitBuilder::write: invalid register");
+    throw std::logic_error("CircuitBuilder::write: invalid register at " +
+                           site(loc));
   }
   if (registers_[reg.index].write_done) {
-    throw std::logic_error("CircuitBuilder::write: register '" +
-                           registers_[reg.index].name + "' written twice");
+    throw std::logic_error(
+        "CircuitBuilder::write: register '" + registers_[reg.index].name +
+        "' written twice (declared at " +
+        site(registers_[reg.index].declared_at) + "; first write at " +
+        site(registers_[reg.index].written_at) + "; second write at " +
+        site(loc) + ")");
   }
   registers_[reg.index].write_done = true;
-  mark_consumed(value, "write");
+  registers_[reg.index].written_at = loc;
+  mark_consumed(value, "write", loc);
   sinks_.push_back(Sink{SinkKind::kRegister, value.index, reg.index, {}});
 }
 
-void CircuitBuilder::output(const std::string& name, Sig value) {
-  mark_consumed(value, "output");
+void CircuitBuilder::output(const std::string& name, Sig value,
+                            std::source_location loc) {
+  mark_consumed(value, "output", loc);
   sinks_.push_back(Sink{SinkKind::kOutput, value.index, UINT32_MAX, name});
 }
 
 void CircuitBuilder::output_pair(const std::string& pos_name,
                                  const std::string& neg_name, Sig pos,
-                                 Sig neg) {
-  output(pos_name, pos);
-  output(neg_name, neg);
+                                 Sig neg, std::source_location loc) {
+  output(pos_name, pos, loc);
+  output(neg_name, neg, loc);
   output_annihilations_.emplace_back(pos_name, neg_name);
 }
 
@@ -125,30 +162,31 @@ void CircuitBuilder::annihilate_registers(Reg a, Reg b) {
   register_annihilations_.emplace_back(a.index, b.index);
 }
 
-Sig CircuitBuilder::add(Sig a, Sig b) {
-  mark_consumed(a, "add");
-  mark_consumed(b, "add");
+Sig CircuitBuilder::add(Sig a, Sig b, std::source_location loc) {
+  mark_consumed(a, "add", loc);
+  mark_consumed(b, "add", loc);
   Op op;
   op.kind = OpKind::kAdd;
   op.operands = {a.index, b.index};
-  const Sig result = new_sig();
+  const Sig result = new_sig(loc);
   op.results = {result.index};
   ops_.push_back(std::move(op));
   return result;
 }
 
-std::vector<Sig> CircuitBuilder::fanout(Sig value, std::size_t copies) {
+std::vector<Sig> CircuitBuilder::fanout(Sig value, std::size_t copies,
+                                        std::source_location loc) {
   if (copies == 0) {
     throw std::logic_error("CircuitBuilder::fanout: need >= 1 copy");
   }
-  mark_consumed(value, "fanout");
+  mark_consumed(value, "fanout", loc);
   Op op;
   op.kind = OpKind::kFanout;
   op.operands = {value.index};
   std::vector<Sig> results;
   results.reserve(copies);
   for (std::size_t i = 0; i < copies; ++i) {
-    const Sig sig = new_sig();
+    const Sig sig = new_sig(loc);
     op.results.push_back(sig.index);
     results.push_back(sig);
   }
@@ -157,134 +195,136 @@ std::vector<Sig> CircuitBuilder::fanout(Sig value, std::size_t copies) {
 }
 
 Sig CircuitBuilder::scale(Sig value, std::uint32_t numerator,
-                          std::uint32_t halvings) {
+                          std::uint32_t halvings, std::source_location loc) {
   if (numerator == 0) {
     throw std::logic_error("CircuitBuilder::scale: numerator must be >= 1");
   }
-  mark_consumed(value, "scale");
+  mark_consumed(value, "scale", loc);
   Op op;
   op.kind = OpKind::kScale;
   op.operands = {value.index};
   op.scale_numerator = numerator;
   op.scale_halvings = halvings;
-  const Sig result = new_sig();
+  const Sig result = new_sig(loc);
   op.results = {result.index};
   ops_.push_back(std::move(op));
   return result;
 }
 
-Sig CircuitBuilder::min(Sig a, Sig b) {
-  mark_consumed(a, "min");
-  mark_consumed(b, "min");
+Sig CircuitBuilder::min(Sig a, Sig b, std::source_location loc) {
+  mark_consumed(a, "min", loc);
+  mark_consumed(b, "min", loc);
   Op op;
   op.kind = OpKind::kMin;
   op.operands = {a.index, b.index};
-  const Sig result = new_sig();
+  const Sig result = new_sig(loc);
   op.results = {result.index};
   ops_.push_back(std::move(op));
   return result;
 }
 
-void CircuitBuilder::discard(Sig value) {
-  mark_consumed(value, "discard");
+void CircuitBuilder::discard(Sig value, std::source_location loc) {
+  mark_consumed(value, "discard", loc);
   sinks_.push_back(Sink{SinkKind::kDiscard, value.index, UINT32_MAX, {}});
 }
 
-CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
-                                        const ClockSpec& clock_spec,
-                                        const std::string& prefix) const {
+CompiledCircuit CircuitBuilder::compile(
+    core::ReactionNetwork& network, const ClockSpec& clock_spec,
+    const std::string& prefix, const compile::CompileOptions& options) const {
   // --- static checks --------------------------------------------------------
   for (std::uint32_t s = 0; s < sig_count_; ++s) {
     if (!sig_consumed_[s]) {
       throw std::logic_error("CircuitBuilder::compile: signal #" +
-                             std::to_string(s) +
-                             " is never consumed (dangling value would "
+                             std::to_string(s) + " (defined at " +
+                             site(sig_sites_[s].defined_at) +
+                             ") is never consumed (dangling value would "
                              "accumulate); use discard() if intentional");
     }
   }
   for (const RegisterDecl& reg : registers_) {
     if (!reg.read_done) {
       throw std::logic_error("CircuitBuilder::compile: register '" + reg.name +
-                             "' is never read; its value would accumulate");
+                             "' (declared at " + site(reg.declared_at) +
+                             ") is never read; its value would accumulate");
     }
     if (!reg.write_done) {
       throw std::logic_error("CircuitBuilder::compile: register '" + reg.name +
-                             "' is never written");
+                             "' (declared at " + site(reg.declared_at) +
+                             ") is never written");
     }
   }
+  auto assumed_zero = [&](const std::string& name) {
+    for (const std::string& port : options.assume_zero_inputs) {
+      if (port == name) return true;
+    }
+    return false;
+  };
+
+  const auto lowering_start = std::chrono::steady_clock::now();
+  compile::LoweringContext ctx(network, prefix);
 
   // --- clock ----------------------------------------------------------------
   ClockSpec spec = clock_spec;
   if (spec.prefix == "clk") spec.prefix = prefix + "_clk";
   CompiledCircuit compiled;
-  compiled.clock = build_clock(network, spec);
+  compiled.clock = build_clock(ctx, spec);
 
   // --- species --------------------------------------------------------------
   // One wire species per signal.
   std::vector<SpeciesId> wires(sig_count_);
   for (std::uint32_t s = 0; s < sig_count_; ++s) {
-    wires[s] = network.add_species(prefix + "_w" + std::to_string(s));
+    wires[s] = ctx.species(prefix + "_w" + std::to_string(s));
   }
   // Register color triples (R_i, G_i, B_i); the initial value sits in R.
-  std::vector<SpeciesId> reg_r(registers_.size());
-  std::vector<SpeciesId> reg_g(registers_.size());
-  std::vector<SpeciesId> reg_b(registers_.size());
+  std::vector<compile::ColorTriple> triples(registers_.size());
   for (std::size_t i = 0; i < registers_.size(); ++i) {
-    const std::string& name = registers_[i].name;
-    reg_r[i] =
-        network.add_species(prefix + "_R_" + name, registers_[i].initial);
-    reg_g[i] = network.add_species(prefix + "_G_" + name);
-    reg_b[i] = network.add_species(prefix + "_B_" + name);
-    compiled.register_state.emplace(name, reg_r[i]);
+    triples[i] = ctx.color_triple(registers_[i].name, registers_[i].initial);
+    compiled.register_state.emplace(registers_[i].name, triples[i].red);
   }
 
-  // Gated emit helpers (see the header comment for the discipline). The
-  // combinational release runs during the RED phase; the register's two
+  // The combinational release runs during the RED phase; the register's two
   // internal hops run during GREEN and BLUE.
-  modules::EmitOptions release;
-  release.category = RateCategory::kSlow;
-  release.catalyst = compiled.clock.phase_r;
-  modules::EmitOptions hop_g;
-  hop_g.category = RateCategory::kSlow;
-  hop_g.catalyst = compiled.clock.phase_g;
-  modules::EmitOptions hop_b;
-  hop_b.category = RateCategory::kSlow;
-  hop_b.catalyst = compiled.clock.phase_b;
-  modules::EmitOptions fast_op;
-  fast_op.category = RateCategory::kFast;
+  const SpeciesId phase_r = compiled.clock.phase_r;
+  const SpeciesId phase_g = compiled.clock.phase_g;
+  const SpeciesId phase_b = compiled.clock.phase_b;
 
   // Register internal hops: R_i -> G_i (green phase), G_i -> B_i (blue).
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     const std::string& name = registers_[i].name;
-    hop_g.label = prefix + ".reg." + name + ".r2g";
-    modules::transfer(network, reg_r[i], reg_g[i], hop_g);
-    hop_b.label = prefix + ".reg." + name + ".g2b";
-    modules::transfer(network, reg_g[i], reg_b[i], hop_b);
+    ctx.gated_transfer(triples[i].red, triples[i].green, phase_g,
+                       prefix + ".reg." + name + ".r2g");
+    ctx.gated_transfer(triples[i].green, triples[i].blue, phase_b,
+                       prefix + ".reg." + name + ".g2b");
   }
 
   // Dual-rail normalization: the coupled registers' parked red species
   // annihilate (fast) while they wait for the next green phase.
   for (const auto& [a, b] : register_annihilations_) {
-    network.add({{reg_r[a], 1}, {reg_r[b], 1}}, {}, RateCategory::kFast, 0.0,
-                prefix + ".normalize." + registers_[a].name + "." +
-                    registers_[b].name);
+    ctx.annihilation(triples[a].red, triples[b].red,
+                     prefix + ".normalize." + registers_[a].name + "." +
+                         registers_[b].name);
   }
 
   // --- ops ------------------------------------------------------------------
+  modules::EmitOptions fast_op;
+  fast_op.category = RateCategory::kFast;
   std::size_t scale_counter = 0;
   for (const Op& op : ops_) {
     switch (op.kind) {
       case OpKind::kInput: {
-        const SpeciesId port = network.add_species(prefix + "_in_" + op.name);
+        const SpeciesId port = ctx.species(prefix + "_in_" + op.name);
         compiled.inputs.emplace(op.name, port);
-        release.label = prefix + ".release.in." + op.name;
-        modules::transfer(network, port, wires[op.results[0]], release);
+        if (!assumed_zero(op.name)) {
+          ctx.declare_root(port, compile::PortRole::kInput);
+        }
+        ctx.gated_transfer(port, wires[op.results[0]], phase_r,
+                           prefix + ".release.in." + op.name);
         break;
       }
       case OpKind::kRead: {
-        release.label = prefix + ".release.reg." + registers_[op.reg].name;
-        modules::transfer(network, reg_b[op.reg], wires[op.results[0]],
-                          release);
+        ctx.gated_transfer(triples[op.reg].blue, wires[op.results[0]],
+                           phase_r,
+                           prefix + ".release.reg." + registers_[op.reg].name);
         break;
       }
       case OpKind::kAdd: {
@@ -292,6 +332,7 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
         modules::add_into(network, wires[op.operands[0]],
                           wires[op.operands[1]], wires[op.results[0]],
                           fast_op);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case OpKind::kFanout: {
@@ -300,6 +341,7 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
         outs.reserve(op.results.size());
         for (const std::uint32_t r : op.results) outs.push_back(wires[r]);
         modules::duplicate(network, wires[op.operands[0]], outs, fast_op);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         break;
       }
       case OpKind::kScale: {
@@ -309,6 +351,7 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
                               op.scale_halvings,
                               prefix + "_scale" + std::to_string(scale_counter),
                               fast_op);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         ++scale_counter;
         break;
       }
@@ -317,12 +360,11 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
         modules::min_into(network, wires[op.operands[0]],
                           wires[op.operands[1]], wires[op.results[0]],
                           fast_op);
+        ctx.tag_pending(compile::ReactionTag::kFastOp);
         // Drain the |a-b| leftover of the larger operand during the
         // following green phase (after the red combinational phase ends).
         for (const std::uint32_t operand : op.operands) {
-          network.add({{compiled.clock.phase_g, 1}, {wires[operand], 1}},
-                      {{compiled.clock.phase_g, 1}}, RateCategory::kSlow, 0.0,
-                      prefix + ".min.drain");
+          ctx.gated_drain(phase_g, wires[operand], prefix + ".min.drain");
         }
         break;
       }
@@ -336,23 +378,20 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
   for (const Sink& sink : sinks_) {
     switch (sink.kind) {
       case SinkKind::kRegister: {
-        fast_op.label = prefix + ".sink.reg." + registers_[sink.reg].name;
-        modules::transfer(network, wires[sink.signal], reg_r[sink.reg],
-                          fast_op);
+        ctx.fast_transfer(wires[sink.signal], triples[sink.reg].red,
+                          prefix + ".sink.reg." + registers_[sink.reg].name);
         break;
       }
       case SinkKind::kOutput: {
-        const SpeciesId port =
-            network.add_species(prefix + "_out_" + sink.name);
+        const SpeciesId port = ctx.species(prefix + "_out_" + sink.name);
         compiled.outputs.emplace(sink.name, port);
-        fast_op.label = prefix + ".sink.out." + sink.name;
-        modules::transfer(network, wires[sink.signal], port, fast_op);
+        ctx.declare_root(port, compile::PortRole::kOutput);
+        ctx.fast_transfer(wires[sink.signal], port,
+                          prefix + ".sink.out." + sink.name);
         break;
       }
       case SinkKind::kDiscard: {
-        network.add({{compiled.clock.phase_g, 1}, {wires[sink.signal], 1}},
-                    {{compiled.clock.phase_g, 1}}, RateCategory::kSlow, 0.0,
-                    prefix + ".discard");
+        ctx.gated_drain(phase_g, wires[sink.signal], prefix + ".discard");
         break;
       }
     }
@@ -360,10 +399,37 @@ CompiledCircuit CircuitBuilder::compile(core::ReactionNetwork& network,
 
   // Output-pair normalization (after the ports exist).
   for (const auto& [pos_name, neg_name] : output_annihilations_) {
-    network.add({{compiled.output(pos_name), 1},
-                 {compiled.output(neg_name), 1}},
-                {}, RateCategory::kFast, 0.0,
-                prefix + ".normalize.out." + pos_name);
+    ctx.annihilation(compiled.output(pos_name), compiled.output(neg_name),
+                     prefix + ".normalize.out." + pos_name);
+  }
+
+  // --- passes ---------------------------------------------------------------
+  const double lowering_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    lowering_start)
+          .count();
+  const compile::FinalizeResult fin = ctx.finalize(options, lowering_seconds);
+  if (fin.optimized) {
+    auto remap_ports = [&](std::map<std::string, SpeciesId>& ports) {
+      for (auto it = ports.begin(); it != ports.end();) {
+        const SpeciesId mapped = fin(it->second);
+        if (mapped == SpeciesId::invalid()) {
+          it = ports.erase(it);  // the pass pipeline proved the cone dead
+        } else {
+          it->second = mapped;
+          ++it;
+        }
+      }
+    };
+    remap_ports(compiled.inputs);
+    remap_ports(compiled.outputs);
+    remap_ports(compiled.register_state);
+    compiled.clock.phase_r = fin(compiled.clock.phase_r);
+    compiled.clock.phase_g = fin(compiled.clock.phase_g);
+    compiled.clock.phase_b = fin(compiled.clock.phase_b);
+    compiled.clock.ind_r = fin(compiled.clock.ind_r);
+    compiled.clock.ind_g = fin(compiled.clock.ind_g);
+    compiled.clock.ind_b = fin(compiled.clock.ind_b);
   }
 
   return compiled;

@@ -38,9 +38,12 @@
 
 #include <cstdint>
 #include <map>
+#include <source_location>
 #include <string>
 #include <vector>
 
+#include "compile/context.hpp"
+#include "compile/passes.hpp"
 #include "core/network.hpp"
 #include "sync/clock.hpp"
 
@@ -76,25 +79,31 @@ struct CompiledCircuit {
 class CircuitBuilder {
  public:
   /// Declares an input port; returns the per-cycle sample signal.
-  Sig input(const std::string& name);
+  Sig input(const std::string& name,
+            std::source_location loc = std::source_location::current());
 
   /// Declares a register with an initial value.
-  Reg add_register(const std::string& name, double initial = 0.0);
+  Reg add_register(const std::string& name, double initial = 0.0,
+                   std::source_location loc = std::source_location::current());
 
   /// Reads a register's current value (allowed exactly once per register).
-  Sig read(Reg reg);
+  Sig read(Reg reg,
+           std::source_location loc = std::source_location::current());
 
   /// Schedules `value` as the register's next value (exactly once).
-  void write(Reg reg, Sig value);
+  void write(Reg reg, Sig value,
+             std::source_location loc = std::source_location::current());
 
   /// Declares an output port fed by `value`.
-  void output(const std::string& name, Sig value);
+  void output(const std::string& name, Sig value,
+              std::source_location loc = std::source_location::current());
 
   /// Declares two output ports whose species annihilate each other (fast):
   /// used by the dual-rail layer so a signed output pair is normalized in
   /// place before it is sampled.
   void output_pair(const std::string& pos_name, const std::string& neg_name,
-                   Sig pos, Sig neg);
+                   Sig pos, Sig neg,
+                   std::source_location loc = std::source_location::current());
 
   /// Requests fast annihilation between the red (state-holding) species of
   /// two registers: a parked dual-rail value (p, n) relaxes to its
@@ -102,27 +111,38 @@ class CircuitBuilder {
   void annihilate_registers(Reg a, Reg b);
 
   /// c := a + b.
-  Sig add(Sig a, Sig b);
+  Sig add(Sig a, Sig b,
+          std::source_location loc = std::source_location::current());
 
   /// k explicit copies of `value`.
-  std::vector<Sig> fanout(Sig value, std::size_t copies);
+  std::vector<Sig> fanout(Sig value, std::size_t copies,
+                          std::source_location loc =
+                              std::source_location::current());
 
   /// value * numerator / 2^halvings (dyadic-rational coefficient).
-  Sig scale(Sig value, std::uint32_t numerator, std::uint32_t halvings);
+  Sig scale(Sig value, std::uint32_t numerator, std::uint32_t halvings,
+            std::source_location loc = std::source_location::current());
 
   /// min(a, b); the |a-b| leftover in the larger operand is drained during
   /// the following green phase.
-  Sig min(Sig a, Sig b);
+  Sig min(Sig a, Sig b,
+          std::source_location loc = std::source_location::current());
 
   /// Discards a signal (drained during the following green phase).
-  void discard(Sig value);
+  void discard(Sig value,
+               std::source_location loc = std::source_location::current());
 
-  /// Lowers the circuit into `network` (clock included). Throws
-  /// `std::logic_error` naming the offending signal/register if the
-  /// single-use discipline is violated.
+  /// Lowers the circuit into `network` (clock included) through the shared
+  /// compile::LoweringContext, then runs the pass pipeline selected by
+  /// `options` (validation at every level; exact shrinking passes at kO1,
+  /// where `options.assume_zero_inputs` names ports whose dead cones may be
+  /// deleted — such ports disappear from the returned handle maps). Throws
+  /// `std::logic_error` — citing the definition site and both use sites —
+  /// if the single-use discipline is violated.
   CompiledCircuit compile(core::ReactionNetwork& network,
                           const ClockSpec& clock_spec = {},
-                          const std::string& prefix = "ckt") const;
+                          const std::string& prefix = "ckt",
+                          const compile::CompileOptions& options = {}) const;
 
  protected:
   // The IR is protected (not private) so the asynchronous compiler
@@ -160,10 +180,22 @@ class CircuitBuilder {
     double initial = 0.0;
     bool read_done = false;
     bool write_done = false;
+    std::source_location declared_at;
+    std::source_location read_at;
+    std::source_location written_at;
   };
 
-  Sig new_sig();
-  void mark_consumed(Sig sig, const char* by);
+  /// Where a signal was produced and (once) consumed; powers the
+  /// definition-site / use-site diagnostics.
+  struct SigSite {
+    std::source_location defined_at;
+    std::source_location consumed_at;
+    const char* consumed_by = nullptr;  // null until consumed
+  };
+
+  Sig new_sig(const std::source_location& loc);
+  void mark_consumed(Sig sig, const char* by,
+                     const std::source_location& loc);
 
   std::vector<Op> ops_;
   std::vector<Sink> sinks_;
@@ -171,6 +203,7 @@ class CircuitBuilder {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> register_annihilations_;
   std::vector<std::pair<std::string, std::string>> output_annihilations_;
   std::vector<bool> sig_consumed_;
+  std::vector<SigSite> sig_sites_;
   std::uint32_t sig_count_ = 0;
 };
 

@@ -2,16 +2,13 @@
 
 #include <stdexcept>
 
-#include "core/builder.hpp"
-
 namespace mrsc::sync {
 
 namespace {
-using core::RateCategory;
 using core::SpeciesId;
 }  // namespace
 
-ClockHandles build_clock(core::ReactionNetwork& network,
+ClockHandles build_clock(compile::LoweringContext& ctx,
                          const ClockSpec& spec) {
   if (spec.token <= 0.0) {
     throw std::invalid_argument("build_clock: token must be positive");
@@ -19,30 +16,31 @@ ClockHandles build_clock(core::ReactionNetwork& network,
   if (spec.phase_stretch < 1.0) {
     throw std::invalid_argument("build_clock: phase_stretch must be >= 1");
   }
-  core::NetworkBuilder builder(network);
   const std::string& p = spec.prefix;
 
   ClockHandles handles;
   handles.token = spec.token;
-  handles.phase_r = builder.species(p + "_R", spec.token);
-  handles.phase_g = builder.species(p + "_G", 0.0);
-  handles.phase_b = builder.species(p + "_B", 0.0);
-  handles.ind_r = builder.species(p + "_r");
-  handles.ind_g = builder.species(p + "_g");
-  handles.ind_b = builder.species(p + "_b");
+  handles.phase_r = ctx.species(p + "_R", spec.token);
+  handles.phase_g = ctx.species(p + "_G", 0.0);
+  handles.phase_b = ctx.species(p + "_B", 0.0);
+  handles.ind_r = ctx.species(p + "_r");
+  handles.ind_g = ctx.species(p + "_g");
+  handles.ind_b = ctx.species(p + "_b");
+  ctx.declare_root(handles.phase_r, compile::PortRole::kClock);
+  ctx.declare_root(handles.phase_g, compile::PortRole::kClock);
+  ctx.declare_root(handles.phase_b, compile::PortRole::kClock);
+  ctx.declare_root(handles.ind_r, compile::PortRole::kClock);
+  ctx.declare_root(handles.ind_g, compile::PortRole::kClock);
+  ctx.declare_root(handles.ind_b, compile::PortRole::kClock);
 
   // Private absence indicators. The generation reactions carry a rate
   // multiplier of 1/phase_stretch: slower indicator build-up lengthens every
   // phase without touching the fast/slow policy.
   auto emit_indicator = [&](SpeciesId indicator, SpeciesId phase,
                             const char* name) {
-    const core::ReactionId gen =
-        network.add({}, {{indicator, 1}}, RateCategory::kSlow, 0.0,
-                    p + ".ind." + name + ".gen");
-    network.reaction_mutable(gen).set_rate_multiplier(1.0 /
-                                                      spec.phase_stretch);
-    network.add({{indicator, 1}, {phase, 1}}, {{phase, 1}},
-                RateCategory::kFast, 0.0, p + ".ind." + name + ".absorb");
+    const SpeciesId members[] = {phase};
+    ctx.indicator(indicator, members, 1.0 / spec.phase_stretch,
+                  p + ".ind." + name);
   };
   emit_indicator(handles.ind_r, handles.phase_r, "r");
   emit_indicator(handles.ind_g, handles.phase_g, "g");
@@ -52,31 +50,25 @@ ClockHandles build_clock(core::ReactionNetwork& network,
   // The seed carries the same 1/phase_stretch multiplier as the indicator
   // generation: both the gate build-up and the bootstrap seeding slow down,
   // so the period scales roughly linearly with the stretch.
-  auto emit_hop = [&](SpeciesId from, SpeciesId to, SpeciesId gate,
-                      const char* name) {
-    const core::ReactionId seed =
-        network.add({{gate, 1}, {from, 1}}, {{to, 1}}, RateCategory::kSlow,
-                    0.0, p + ".hop." + name + ".seed");
-    network.reaction_mutable(seed).set_rate_multiplier(1.0 /
-                                                       spec.phase_stretch);
-    if (spec.feedback) {
-      const SpeciesId dimer =
-          builder.species(p + std::string("_I_") + name);
-      network.add({{to, 2}}, {{dimer, 1}}, RateCategory::kSlow, 0.0,
-                  p + ".hop." + name + ".dimerize");
-      network.add({{dimer, 1}}, {{to, 2}}, RateCategory::kFast, 0.0,
-                  p + ".hop." + name + ".undimerize");
-      network.add({{dimer, 1}, {from, 1}}, {{to, 3}}, RateCategory::kFast,
-                  0.0, p + ".hop." + name + ".feedback");
-    }
-  };
   // red-to-green needs blue absent; green-to-blue needs red absent;
   // blue-to-red needs green absent.
+  auto emit_hop = [&](SpeciesId from, SpeciesId to, SpeciesId gate,
+                      const char* name) {
+    ctx.sharpened_hop(from, to, gate, p + ".hop." + name,
+                      p + std::string("_I_") + name, 1.0 / spec.phase_stretch,
+                      spec.feedback);
+  };
   emit_hop(handles.phase_r, handles.phase_g, handles.ind_b, "r2g");
   emit_hop(handles.phase_g, handles.phase_b, handles.ind_r, "g2b");
   emit_hop(handles.phase_b, handles.phase_r, handles.ind_g, "b2r");
 
   return handles;
+}
+
+ClockHandles build_clock(core::ReactionNetwork& network,
+                         const ClockSpec& spec) {
+  compile::LoweringContext ctx(network, spec.prefix);
+  return build_clock(ctx, spec);
 }
 
 }  // namespace mrsc::sync

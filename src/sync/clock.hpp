@@ -26,6 +26,7 @@
 
 #include <string>
 
+#include "compile/context.hpp"
 #include "core/network.hpp"
 
 namespace mrsc::sync {
@@ -54,6 +55,12 @@ struct ClockHandles {
 /// Emits the clock reactions; the token starts in C_R (write-back phase), so
 /// the first compute phase begins after one hop.
 ClockHandles build_clock(core::ReactionNetwork& network,
+                         const ClockSpec& spec);
+
+/// Same, emitting through an existing lowering context so the clock's
+/// reactions are tagged (indicators, sharpened hops) and the phase species
+/// registered as kClock roots of the surrounding design.
+ClockHandles build_clock(compile::LoweringContext& ctx,
                          const ClockSpec& spec);
 
 }  // namespace mrsc::sync

@@ -23,6 +23,9 @@
 //   --ratios A,B,C     sweep ratios               (default 10,100,1000,10000)
 //   --jitters A,B      sweep jitter factors       (default 1)
 //   --species A,B,C    which species to report    (default all)
+//   --opt              run the -O1 compile pipeline on the loaded network
+//                      first (--species names are pinned as roots); the
+//                      per-pass report is printed and lands in --json
 //   --json PATH        write machine-readable results
 //
 // Exits nonzero on error or if any job failed.
@@ -34,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/passes.hpp"
 #include "core/io.hpp"
 #include "analysis/sweep.hpp"
 #include "runtime/batch.hpp"
@@ -60,7 +64,10 @@ struct CliOptions {
   std::vector<double> ratios = {10.0, 100.0, 1000.0, 10000.0};
   std::vector<double> jitters = {1.0};
   std::vector<std::string> species;
+  bool opt = false;
   std::string json;
+  // Compile report JSON from --opt, embedded in the --json output.
+  std::string compile_json;
 };
 
 void usage() {
@@ -70,7 +77,7 @@ void usage() {
       "       [--replicates R] [--timeout S] [--seed S] [--t-end T]\n"
       "       [--method ssa|nrm|tau|dp45|rk4|be] [--omega W] [--record DT]\n"
       "       [--tau T] [--dt H] [--ratios A,B,C] [--jitters A,B]\n"
-      "       [--species A,B,C] [--json PATH]\n");
+      "       [--species A,B,C] [--opt] [--json PATH]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -135,9 +142,14 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    const bool takes_value = arg[0] == '-' && arg[1] == '-';
+    const bool is_flag = std::strcmp(arg, "--opt") == 0;
+    const bool takes_value = !is_flag && arg[0] == '-' && arg[1] == '-';
     const char* value = nullptr;
     if (takes_value && !(value = need_value(i))) return false;
+    if (is_flag) {
+      options.opt = true;
+      continue;
+    }
     if (std::strcmp(arg, "--mode") == 0) {
       options.mode = value;
     } else if (std::strcmp(arg, "--jobs") == 0) {
@@ -246,6 +258,14 @@ void append_json_number(std::string& out, double value) {
   out += buffer;
 }
 
+// Embeds the --opt compile report (if any) right after the "mode" field.
+void append_compile_report(std::string& json, const CliOptions& cli) {
+  if (cli.compile_json.empty()) return;
+  std::string report = cli.compile_json;
+  while (!report.empty() && report.back() == '\n') report.pop_back();
+  json += "  \"compile\": " + report + ",\n";
+}
+
 int run_ensemble(const core::ReactionNetwork& network,
                  const CliOptions& cli) {
   sim::SsaOptions ssa;
@@ -308,6 +328,7 @@ int run_ensemble(const core::ReactionNetwork& network,
 
   if (!cli.json.empty()) {
     std::string json = "{\n  \"mode\": \"ensemble\",\n";
+    append_compile_report(json, cli);
     json += "  \"replicates\": " + std::to_string(options.replicates) + ",\n";
     json += "  \"base_seed\": " + std::to_string(options.base_seed) + ",\n";
     json += "  \"method\": \"" + method + "\",\n";
@@ -448,7 +469,9 @@ int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
   }
 
   if (!cli.json.empty()) {
-    std::string json = "{\n  \"mode\": \"sweep\",\n  \"points\": [\n";
+    std::string json = "{\n  \"mode\": \"sweep\",\n";
+    append_compile_report(json, cli);
+    json += "  \"points\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const runtime::JobResult& job = results[i];
       json += "    {\"ratio\": ";
@@ -490,9 +513,27 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) return 2;
   try {
-    const core::ReactionNetwork network = core::load_network(cli.file);
+    core::ReactionNetwork network = core::load_network(cli.file);
     std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
                 network.species_count(), network.reaction_count());
+    if (cli.opt) {
+      // Resolve --species against the unoptimized network and pin them as
+      // roots so everything the user asked to see survives optimization.
+      std::vector<core::SpeciesId> roots;
+      for (const std::string& name : cli.species) {
+        const auto id = network.find_species(name);
+        if (!id) {
+          std::fprintf(stderr, "mrsc_batch: --species: no species named '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        roots.push_back(*id);
+      }
+      auto optimized = compile::optimize_network(network, roots);
+      optimized.report.design = cli.file;
+      std::printf("%s", optimized.report.to_table().c_str());
+      cli.compile_json = optimized.report.to_json();
+    }
     return cli.mode == "ensemble" ? run_ensemble(network, cli)
                                   : run_sweep(network, cli);
   } catch (const std::exception& error) {

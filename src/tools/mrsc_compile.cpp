@@ -1,0 +1,236 @@
+// mrsc_compile — lower a design (or optimize a .crn file) through the shared
+// compile pipeline and report what every pass did.
+//
+//   mrsc_compile FILE.crn [options]
+//   mrsc_compile --design NAME [options]
+//
+//   --design NAME      compile a built-in design instead of a file:
+//                      counter, moving_average, iir, first_difference,
+//                      delay, seqdet
+//   --opt 0|1          optimization level               (default 1)
+//   --assume-zero A,B  input ports promised to stay zero; their dead cone
+//                      is eliminated at -O1 (built-in circuit designs only)
+//   --roots A,B        extra species pinned alive (FILE mode; ports and
+//                      clock species of built-in designs are pinned
+//                      automatically)
+//   --json PATH        write the per-pass CompileReport as JSON
+//   --out PATH         write the compiled/optimized network as .crn text
+//
+// Prints the per-pass table on stdout; exits nonzero on error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compile/passes.hpp"
+#include "compile/report.hpp"
+#include "core/io.hpp"
+#include "dsp/counter.hpp"
+#include "dsp/filters.hpp"
+#include "fsm/fsm.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  std::string file;
+  std::string design;
+  int opt = 1;
+  std::vector<std::string> assume_zero;
+  std::vector<std::string> roots;
+  std::string json;
+  std::string out;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsc_compile [FILE.crn | --design NAME] [--opt 0|1]\n"
+      "       [--assume-zero A,B] [--roots A,B] [--json PATH] [--out PATH]\n"
+      "       designs: counter, moving_average, iir, first_difference,\n"
+      "                delay, seqdet\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_compile: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] != '-') {
+      if (!options.file.empty()) {
+        std::fprintf(stderr, "mrsc_compile: more than one input file\n");
+        return false;
+      }
+      options.file = arg;
+      continue;
+    }
+    const char* value = need_value(i);
+    if (value == nullptr) return false;
+    if (std::strcmp(arg, "--design") == 0) {
+      options.design = value;
+    } else if (std::strcmp(arg, "--opt") == 0) {
+      if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
+        std::fprintf(stderr, "mrsc_compile: --opt must be 0 or 1\n");
+        return false;
+      }
+      options.opt = value[0] - '0';
+    } else if (std::strcmp(arg, "--assume-zero") == 0) {
+      options.assume_zero = split_commas(value);
+    } else if (std::strcmp(arg, "--roots") == 0) {
+      options.roots = split_commas(value);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = value;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      options.out = value;
+    } else {
+      std::fprintf(stderr, "mrsc_compile: unknown option %s\n", arg);
+      return false;
+    }
+  }
+  if (options.file.empty() == options.design.empty()) {
+    std::fprintf(stderr,
+                 "mrsc_compile: give exactly one of FILE.crn or --design\n");
+    return false;
+  }
+  return true;
+}
+
+/// Owns the network a built-in design compiles into (dsp::Design already
+/// heap-allocates its own; counter/fsm need a fresh one).
+struct Compiled {
+  std::unique_ptr<core::ReactionNetwork> owned;
+  core::ReactionNetwork* network = nullptr;
+};
+
+Compiled compile_design(const std::string& name,
+                        const compile::CompileOptions& options) {
+  Compiled result;
+  if (name == "counter") {
+    result.owned = std::make_unique<core::ReactionNetwork>();
+    dsp::build_counter(*result.owned, dsp::CounterSpec{}, options);
+    result.network = result.owned.get();
+    return result;
+  }
+  if (name == "seqdet") {
+    result.owned = std::make_unique<core::ReactionNetwork>();
+    fsm::FsmSpec spec = fsm::make_sequence_detector("101");
+    fsm::build_fsm(*result.owned, spec, options);
+    result.network = result.owned.get();
+    return result;
+  }
+  dsp::Design design;
+  if (name == "moving_average") {
+    design = dsp::make_moving_average({}, options);
+  } else if (name == "iir") {
+    design = dsp::make_second_order_iir({}, options);
+  } else if (name == "first_difference") {
+    design = dsp::make_first_difference({}, options);
+  } else if (name == "delay") {
+    design = dsp::make_delay_line(3, {}, options);
+  } else {
+    throw std::invalid_argument("unknown design '" + name +
+                                "' (try counter, moving_average, iir, "
+                                "first_difference, delay, seqdet)");
+  }
+  result.owned = std::move(design.network);
+  result.network = result.owned.get();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+  try {
+    compile::CompileReport report;
+    compile::CompileOptions compile_options;
+    compile_options.opt =
+        cli.opt == 0 ? compile::OptLevel::kO0 : compile::OptLevel::kO1;
+    compile_options.assume_zero_inputs = cli.assume_zero;
+    compile_options.report = &report;
+
+    Compiled compiled;
+    if (!cli.design.empty()) {
+      report.design = cli.design;
+      compiled = compile_design(cli.design, compile_options);
+    } else {
+      report.design = cli.file;
+      compiled.owned = std::make_unique<core::ReactionNetwork>(
+          core::load_network(cli.file));
+      compiled.network = compiled.owned.get();
+      std::vector<core::SpeciesId> roots;
+      for (const std::string& name : cli.roots) {
+        const auto id = compiled.network->find_species(name);
+        if (!id) {
+          throw std::invalid_argument("--roots: no species named '" + name +
+                                      "'");
+        }
+        roots.push_back(*id);
+      }
+      if (cli.opt == 0) {
+        // Nothing to do, but still report the (identity) stats.
+        report.before = core::compute_stats(*compiled.network);
+        report.after = report.before;
+      } else {
+        auto result = compile::optimize_network(*compiled.network, roots);
+        result.report.design = report.design;
+        report = std::move(result.report);
+      }
+    }
+
+    std::printf("%s", report.to_table().c_str());
+    const auto& b = report.before;
+    const auto& a = report.after;
+    std::printf("%s: %zu species / %zu reactions -> %zu species / %zu "
+                "reactions at -O%d\n",
+                report.design.c_str(), b.species, b.reactions, a.species,
+                a.reactions, cli.opt);
+
+    if (!cli.json.empty()) {
+      std::ofstream out(cli.json);
+      if (!out) {
+        std::fprintf(stderr, "mrsc_compile: cannot write %s\n",
+                     cli.json.c_str());
+        return 1;
+      }
+      out << report.to_json();
+      std::printf("report written to %s\n", cli.json.c_str());
+    }
+    if (!cli.out.empty()) {
+      core::save_network(*compiled.network, cli.out);
+      std::printf("network written to %s\n", cli.out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_compile: %s\n", error.what());
+    return 1;
+  }
+}

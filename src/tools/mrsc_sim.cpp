@@ -15,6 +15,9 @@
 //   --csv PATH         write the trajectory as CSV
 //   --plot             render an ASCII waveform of the reported species
 //   --laws             print the network's conservation laws
+//   --opt              run the kO1 compile pipeline on the loaded network
+//                      first (--species names are pinned as roots) and
+//                      print the per-pass table
 //
 // Prints the final state of the reported species; exits nonzero on error.
 #include <algorithm>
@@ -27,6 +30,7 @@
 
 #include "analysis/conservation.hpp"
 #include "analysis/plot.hpp"
+#include "compile/passes.hpp"
 #include "core/io.hpp"
 #include "sim/ode.hpp"
 #include "sim/ssa.hpp"
@@ -49,6 +53,7 @@ struct CliOptions {
   std::string csv;
   bool plot = false;
   bool laws = false;
+  bool opt = false;
 };
 
 void usage() {
@@ -58,7 +63,7 @@ void usage() {
                "       [--dt H] [--record DT] [--omega W] [--seed S] "
                "[--tau T]\n"
                "       [--max-events N] [--species A,B,C] [--csv PATH] "
-               "[--plot] [--laws]\n");
+               "[--plot] [--laws] [--opt]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -152,6 +157,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.plot = true;
     } else if (std::strcmp(arg, "--laws") == 0) {
       options.laws = true;
+    } else if (std::strcmp(arg, "--opt") == 0) {
+      options.opt = true;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "mrsc_sim: unknown option %s\n", arg);
       return false;
@@ -202,9 +209,27 @@ int main(int argc, char** argv) {
   if (!parse_cli(argc, argv, cli)) return 2;
 
   try {
-    const core::ReactionNetwork network = core::load_network(cli.file);
+    core::ReactionNetwork network = core::load_network(cli.file);
     std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
                 network.species_count(), network.reaction_count());
+
+    if (cli.opt) {
+      // The reported species are the interface the user cares about; pin
+      // them (resolved against the pre-optimization network) as roots.
+      std::vector<core::SpeciesId> roots;
+      for (const std::string& name : cli.species) {
+        const auto id = network.find_species(name);
+        if (!id) {
+          std::fprintf(stderr, "mrsc_sim: unknown species '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        roots.push_back(*id);
+      }
+      auto optimized = compile::optimize_network(network, roots);
+      optimized.report.design = cli.file;
+      std::printf("%s", optimized.report.to_table().c_str());
+    }
 
     if (cli.laws) {
       const auto laws = analysis::conservation_laws(network);

@@ -1,5 +1,6 @@
 #include "verify/verify.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -45,6 +46,31 @@ double robustness_ratio(std::uint64_t seed) {
   return kRatios[seed % 2];
 }
 
+// --- optimization equivalence ------------------------------------------------
+
+void add_clock_roots(std::vector<core::SpeciesId>& roots,
+                     const sync::ClockHandles& clock) {
+  roots.insert(roots.end(), {clock.phase_r, clock.phase_g, clock.phase_b,
+                             clock.ind_r, clock.ind_g, clock.ind_b});
+}
+
+/// Proves the kO1 pipeline trajectory-preserving on this case's network with
+/// the given interface pinned as roots.
+void check_opt(std::vector<Violation>& out, const ReactionNetwork& network,
+               std::span<const core::SpeciesId> roots, std::uint64_t seed,
+               const VerifyOptions& o, bool ssa) {
+  if (!o.opt_equivalence) return;
+  OptEquivalenceOptions eq;
+  eq.t_end = ssa ? 2.0 : free_run_t_end(network.rate_policy());
+  eq.ssa = ssa;
+  eq.omega = o.omega;
+  eq.replicates = std::min<std::size_t>(o.ssa_replicates, 8);
+  eq.base_seed = util::Rng::stream_seed(seed, 0xEC);
+  eq.clt = CltBand{o.clt.z, 0.0};
+  const auto found = check_optimization_equivalence(network, roots, eq);
+  out.insert(out.end(), found.begin(), found.end());
+}
+
 // --- per-kind oracle passes --------------------------------------------------
 
 std::vector<Violation> check_sync(const SyncCase& c, std::uint64_t seed,
@@ -74,6 +100,11 @@ std::vector<Violation> check_sync(const SyncCase& c, std::uint64_t seed,
     add(out, check_series_match("rate_robustness", rerun.outputs, c.expected,
                                 o.functional_robust));
   }
+  std::vector<core::SpeciesId> roots;
+  for (const auto& [name, id] : c.circuit.inputs) roots.push_back(id);
+  for (const auto& [name, id] : c.circuit.outputs) roots.push_back(id);
+  add_clock_roots(roots, c.circuit.clock);
+  check_opt(out, c.network, roots, seed, o, /*ssa=*/false);
   return out;
 }
 
@@ -122,6 +153,11 @@ std::vector<Violation> check_dual(const DualRailCase& c, std::uint64_t seed,
                                 analysis::signed_series(rerun, "y"),
                                 c.expected, o.functional_robust));
   }
+  std::vector<core::SpeciesId> roots;
+  for (const auto& [name, id] : c.circuit.inputs) roots.push_back(id);
+  for (const auto& [name, id] : c.circuit.outputs) roots.push_back(id);
+  add_clock_roots(roots, c.circuit.clock);
+  check_opt(out, c.network, roots, seed, o, /*ssa=*/false);
   return out;
 }
 
@@ -174,6 +210,13 @@ std::vector<Violation> check_fsm(const FsmCase& c, const VerifyOptions& o) {
                               driven));
   add(out, check_clock_phase_token(c.handles.clock, run.ode.trajectory,
                                    o.trajectory));
+  std::vector<core::SpeciesId> roots = c.handles.state;
+  roots.insert(roots.end(), c.handles.state_primed.begin(),
+               c.handles.state_primed.end());
+  roots.insert(roots.end(), c.handles.input.begin(), c.handles.input.end());
+  roots.insert(roots.end(), c.handles.output.begin(), c.handles.output.end());
+  add_clock_roots(roots, c.handles.clock);
+  check_opt(out, c.network, roots, /*seed=*/0, o, /*ssa=*/false);
   return out;
 }
 
@@ -209,6 +252,13 @@ std::vector<Violation> check_counter(const CounterCase& c,
                               driven));
   add(out, check_clock_phase_token(c.handles.clock, run.ode.trajectory,
                                    o.trajectory));
+  std::vector<core::SpeciesId> roots = {c.handles.increment};
+  roots.insert(roots.end(), c.handles.zero_rail.begin(),
+               c.handles.zero_rail.end());
+  roots.insert(roots.end(), c.handles.one_rail.begin(),
+               c.handles.one_rail.end());
+  add_clock_roots(roots, c.handles.clock);
+  check_opt(out, c.network, roots, /*seed=*/0, o, /*ssa=*/false);
   return out;
 }
 
@@ -221,6 +271,10 @@ std::vector<Violation> check_raw(const RawCase& c, std::uint64_t seed,
   const auto ode = sim::simulate_ode(c.network, ode_options);
   add(out, check_non_negative(c.network, ode.trajectory, o.trajectory));
   add(out, check_conservation(c.network, ode.trajectory, o.trajectory));
+  // No interface to pin: the pipeline may remove anything provably dead.
+  // Closed cases have bounded dynamics, so they also get the SSA leg.
+  check_opt(out, c.network, /*roots=*/{}, seed, o,
+            /*ssa=*/o.differential && c.closed);
 
   // The ensemble differentials need bounded dynamics; closed (mass-
   // preserving) networks guarantee that. Open random networks can contain
@@ -355,6 +409,7 @@ std::optional<ShrinkResult> shrink_case(const GeneratedCase& c,
   replay.shrink = false;
   replay.robustness = oracle == "rate_robustness";
   replay.differential = !is_invariant_oracle(oracle);
+  replay.opt_equivalence = oracle == "opt_equivalence";
 
   ViolationPredicate violates;
   if (is_invariant_oracle(oracle)) {

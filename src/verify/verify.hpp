@@ -17,6 +17,7 @@
 
 #include "sync/clock.hpp"
 #include "verify/generator.hpp"
+#include "verify/opt_equivalence.hpp"
 #include "verify/oracles.hpp"
 #include "verify/shrink.hpp"
 
@@ -41,6 +42,10 @@ struct VerifyOptions {
   std::size_t threads = 1;
   /// Run the expensive differential (ensemble) oracles on raw cases.
   bool differential = true;
+  /// Prove the kO1 compile pipeline trajectory-preserving on every case
+  /// (see opt_equivalence.hpp). Raw closed cases additionally get the SSA
+  /// ensemble leg when `differential` is on.
+  bool opt_equivalence = true;
   /// Re-run clocked circuits under an alternative k_fast/k_slow ratio on a
   /// subset of seeds (every 4th) and require the same logical output.
   bool robustness = true;

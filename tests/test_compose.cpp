@@ -1,4 +1,6 @@
-#include "core/transform.hpp"
+#include "compile/compose.hpp"
+
+#include "compile/passes.hpp"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +9,15 @@
 #include "sim/ode.hpp"
 #include "sync/clock.hpp"
 
-namespace mrsc::core {
+namespace mrsc::compile {
+namespace {
+using core::NetworkBuilder;
+using core::RateCategory;
+using core::ReactionId;
+using core::ReactionNetwork;
+using core::SpeciesId;
+}  // namespace
+
 namespace {
 
 ReactionNetwork small_network() {
@@ -146,4 +156,4 @@ TEST(UnreachableSpecies, WholeDesignsAreFullyReachable) {
 }
 
 }  // namespace
-}  // namespace mrsc::core
+}  // namespace mrsc::compile

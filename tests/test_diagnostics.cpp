@@ -1,0 +1,142 @@
+// Tests for the CircuitBuilder single-use diagnostics: a violation must name
+// the signal's definition site and BOTH use sites so the design bug is
+// findable without bisecting the builder calls.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/network.hpp"
+#include "sync/circuit.hpp"
+
+namespace mrsc::sync {
+namespace {
+
+// Every builder call in this file sits on a distinct line; the diagnostics
+// quote "file:line" for each site, so the test can assert that all three
+// sites (definition, first use, second use) appear in the message.
+std::string line_tag(unsigned line) {
+  return ":" + std::to_string(line);
+}
+
+TEST(Diagnostics, DoubleConsumeCitesDefinitionAndBothUseSites) {
+  CircuitBuilder b;
+  const unsigned defined_line = __LINE__ + 1;
+  Sig x = b.input("x");
+  const unsigned first_use_line = __LINE__ + 1;
+  Sig y = b.input("y");
+  Sig sum = b.add(x, y);
+  b.discard(sum);
+  try {
+    const unsigned second_use_line = __LINE__ + 1;
+    (void)b.add(x, b.input("z"));
+    FAIL() << "second consume of x should throw";
+    (void)second_use_line;
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("consumed twice"), std::string::npos) << message;
+    EXPECT_NE(message.find("defined at"), std::string::npos) << message;
+    EXPECT_NE(message.find(line_tag(defined_line)), std::string::npos)
+        << message;
+    // first_use_line + 1 is the add() that consumed x first.
+    EXPECT_NE(message.find(line_tag(first_use_line + 1)), std::string::npos)
+        << message;
+    // The hint toward the fix is part of the contract.
+    EXPECT_NE(message.find("fanout"), std::string::npos) << message;
+    // The message names this file, not the builder internals.
+    EXPECT_NE(message.find("test_diagnostics.cpp"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Diagnostics, SecondUseSiteIsQuoted) {
+  CircuitBuilder b;
+  Sig x = b.input("x");
+  b.output("first", x);
+  unsigned second_line = 0;
+  try {
+    second_line = __LINE__ + 1;
+    b.output("second", x);
+    FAIL() << "second consume should throw";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("second consumer: output"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(line_tag(second_line)), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Diagnostics, DoubleReadCitesDeclarationAndBothReads) {
+  CircuitBuilder b;
+  const unsigned declared_line = __LINE__ + 1;
+  Reg r = b.add_register("acc", 1.0);
+  const unsigned first_read_line = __LINE__ + 1;
+  Sig v = b.read(r);
+  b.discard(v);
+  try {
+    (void)b.read(r);
+    FAIL() << "second read should throw";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("read twice"), std::string::npos) << message;
+    EXPECT_NE(message.find(line_tag(declared_line)), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(line_tag(first_read_line)), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Diagnostics, DoubleWriteCitesBothWrites) {
+  CircuitBuilder b;
+  Reg r = b.add_register("acc");
+  const unsigned first_write_line = __LINE__ + 1;
+  b.write(r, b.input("a"));
+  try {
+    b.write(r, b.input("b"));
+    FAIL() << "second write should throw";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("written twice"), std::string::npos) << message;
+    EXPECT_NE(message.find(line_tag(first_write_line)), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Diagnostics, DanglingSignalCitesDefinitionSite) {
+  CircuitBuilder b;
+  const unsigned defined_line = __LINE__ + 1;
+  (void)b.input("x");
+  core::ReactionNetwork net;
+  try {
+    (void)b.compile(net);
+    FAIL() << "dangling signal should fail compile()";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("never consumed"), std::string::npos) << message;
+    EXPECT_NE(message.find(line_tag(defined_line)), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("discard()"), std::string::npos) << message;
+  }
+}
+
+TEST(Diagnostics, UnreadRegisterCitesDeclaration) {
+  CircuitBuilder b;
+  const unsigned declared_line = __LINE__ + 1;
+  Reg r = b.add_register("orphan");
+  b.write(r, b.input("x"));
+  core::ReactionNetwork net;
+  try {
+    (void)b.compile(net);
+    FAIL() << "unread register should fail compile()";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("never read"), std::string::npos) << message;
+    EXPECT_NE(message.find("orphan"), std::string::npos) << message;
+    EXPECT_NE(message.find(line_tag(declared_line)), std::string::npos)
+        << message;
+  }
+}
+
+}  // namespace
+}  // namespace mrsc::sync

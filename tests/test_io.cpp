@@ -5,7 +5,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "compile/passes.hpp"
 #include "core/builder.hpp"
+#include "dsp/counter.hpp"
+#include "dsp/filters.hpp"
+#include "fsm/fsm.hpp"
 
 namespace mrsc::core {
 namespace {
@@ -105,6 +109,68 @@ TEST(NetworkIo, SaveAndLoadFile) {
 TEST(NetworkIo, LoadMissingFileThrows) {
   EXPECT_THROW((void)load_network("/nonexistent/path/to/net.crn"),
                std::runtime_error);
+}
+
+TEST(NetworkIo, RateMultiplierRoundTrips) {
+  ReactionNetwork net;
+  NetworkBuilder builder(net);
+  builder.species("A", 1.0);
+  const ReactionId id = builder.reaction("A -> 0", RateCategory::kSlow);
+  net.reaction_mutable(id).set_rate_multiplier(0.25);
+  builder.reaction("0 -> A", 3.0);
+
+  const std::string text = serialize_network(net);
+  EXPECT_NE(text.find("slow*0.25 : A -> 0"), std::string::npos) << text;
+  const ReactionNetwork parsed = parse_network(text);
+  EXPECT_DOUBLE_EQ(parsed.reaction(id).rate_multiplier(), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.reaction(ReactionId{1}).rate_multiplier(), 1.0);
+  EXPECT_EQ(text, serialize_network(parsed));
+}
+
+TEST(NetworkIo, ParseRejectsBadRateMultiplier) {
+  EXPECT_THROW((void)parse_network("@species A\nslow*x : A -> 0\n"),
+               std::invalid_argument);
+}
+
+// Compiled circuits must survive serialize/parse with identical structure —
+// including the clock's stretched-hop rate multipliers, which the text
+// format's "*<multiplier>" suffix carries.
+void expect_round_trip_identity(const ReactionNetwork& compiled) {
+  const std::string once = serialize_network(compiled);
+  const ReactionNetwork parsed = parse_network(once);
+  ASSERT_EQ(parsed.species_count(), compiled.species_count());
+  ASSERT_EQ(parsed.reaction_count(), compiled.reaction_count());
+  for (std::size_t j = 0; j < compiled.reaction_count(); ++j) {
+    const ReactionId id{static_cast<ReactionId::underlying_type>(j)};
+    EXPECT_DOUBLE_EQ(parsed.reaction(id).rate_multiplier(),
+                     compiled.reaction(id).rate_multiplier());
+  }
+  EXPECT_EQ(once, serialize_network(parsed));
+}
+
+TEST(NetworkIo, CompiledCounterRoundTrips) {
+  ReactionNetwork net;
+  (void)dsp::build_counter(net, dsp::CounterSpec{});
+  expect_round_trip_identity(net);
+}
+
+TEST(NetworkIo, CompiledMovingAverageRoundTrips) {
+  const auto design = dsp::make_moving_average();
+  expect_round_trip_identity(*design.network);
+}
+
+TEST(NetworkIo, CompiledOptimizedMovingAverageRoundTrips) {
+  compile::CompileOptions options;
+  options.opt = compile::OptLevel::kO1;
+  const auto design = dsp::make_moving_average({}, options);
+  expect_round_trip_identity(*design.network);
+}
+
+TEST(NetworkIo, CompiledSequenceDetectorRoundTrips) {
+  ReactionNetwork net;
+  const fsm::FsmSpec spec = fsm::make_sequence_detector("101");
+  (void)fsm::build_fsm(net, spec);
+  expect_round_trip_identity(net);
 }
 
 }  // namespace
