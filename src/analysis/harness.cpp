@@ -185,12 +185,15 @@ ClockedRunResult run_clocked_circuit(const core::ReactionNetwork& network,
 
   // Sampler first: at edge k it reads the result of the sample injected at
   // edge k-1, before the injector adds this cycle's input.
-  sim::Observer* observers[] = {&sampler, &injector, &stopper};
+  std::vector<sim::Observer*> observers = {&sampler, &injector};
+  observers.insert(observers.end(), options.extra_observers.begin(),
+                   options.extra_observers.end());
+  observers.push_back(&stopper);
 
   ClockedRunResult result;
-  result.ode =
-      sim::simulate_ode(network, options.ode, network.initial_state(),
-                        std::span<sim::Observer* const>(observers, 3));
+  result.ode = sim::simulate_ode(
+      network, options.ode, network.initial_state(),
+      std::span<sim::Observer* const>(observers.data(), observers.size()));
   result.outputs = sampler.samples();
   result.output_times = sampler.sample_times();
   result.input_times = injector.injection_times();
@@ -229,12 +232,15 @@ ClockedRunResult run_async_circuit(const core::ReactionNetwork& network,
       /*skip_edges=*/options.warmup_edges);
   const std::size_t wanted = samples.size();
   StopWhen stopper([&] { return sampler.samples().size() >= wanted; });
-  sim::Observer* observers[] = {&sampler, &injector, &stopper};
+  std::vector<sim::Observer*> observers = {&sampler, &injector};
+  observers.insert(observers.end(), options.extra_observers.begin(),
+                   options.extra_observers.end());
+  observers.push_back(&stopper);
 
   ClockedRunResult result;
-  result.ode =
-      sim::simulate_ode(network, options.ode, network.initial_state(),
-                        std::span<sim::Observer* const>(observers, 3));
+  result.ode = sim::simulate_ode(
+      network, options.ode, network.initial_state(),
+      std::span<sim::Observer* const>(observers.data(), observers.size()));
   result.outputs = sampler.samples();
   result.output_times = sampler.sample_times();
   result.input_times = injector.injection_times();
@@ -287,6 +293,8 @@ MultiRunResult run_clocked_circuit_multi(
     observers.push_back(injector.get());
     owned.push_back(std::move(injector));
   }
+  observers.insert(observers.end(), options.extra_observers.begin(),
+                   options.extra_observers.end());
   StopWhen stopper([&] {
     return std::ranges::all_of(samplers, [&](const auto* s) {
       return s->samples().size() >= cycles;
@@ -351,12 +359,15 @@ CounterRunResult run_counter(const core::ReactionNetwork& network,
                      /*skip_edges=*/options.warmup_edges);
   StopWhen stopper([&] { return probe.values().size() >= increments; });
 
-  sim::Observer* observers[] = {&probe, &injector, &stopper};
+  std::vector<sim::Observer*> observers = {&probe, &injector};
+  observers.insert(observers.end(), options.extra_observers.begin(),
+                   options.extra_observers.end());
+  observers.push_back(&stopper);
 
   CounterRunResult result;
-  result.ode =
-      sim::simulate_ode(network, options.ode, network.initial_state(),
-                        std::span<sim::Observer* const>(observers, 3));
+  result.ode = sim::simulate_ode(
+      network, options.ode, network.initial_state(),
+      std::span<sim::Observer* const>(observers.data(), observers.size()));
   result.values = probe.values();
   result.read_times = probe.times();
   if (result.values.size() < increments) {
@@ -384,12 +395,15 @@ FsmRunResult run_fsm(const core::ReactionNetwork& network,
                  options.threshold_high * token, options.warmup_edges);
   const std::size_t wanted = inputs.size();
   StopWhen stopper([&] { return probe.states().size() >= wanted; });
-  sim::Observer* observers[] = {&probe, &stopper};
+  std::vector<sim::Observer*> observers = {&probe};
+  observers.insert(observers.end(), options.extra_observers.begin(),
+                   options.extra_observers.end());
+  observers.push_back(&stopper);
 
   FsmRunResult result;
-  result.ode =
-      sim::simulate_ode(network, options.ode, network.initial_state(),
-                        std::span<sim::Observer* const>(observers, 2));
+  result.ode = sim::simulate_ode(
+      network, options.ode, network.initial_state(),
+      std::span<sim::Observer* const>(observers.data(), observers.size()));
   result.states = probe.states();
   result.outputs = probe.outputs();
   result.read_times = probe.read_times();

@@ -37,6 +37,10 @@ struct ClockedRunOptions {
   /// ports (e.g. register initial values) is discarded. Use 0 to observe
   /// initial values in the first output.
   std::size_t warmup_edges = 1;
+  /// Additional observers appended after the harness's own (non-owning; must
+  /// outlive the run). The stress layer hooks its scheduled fault events —
+  /// spurious injections and molecule losses — in here.
+  std::vector<sim::Observer*> extra_observers;
 };
 
 struct ClockedRunResult {

@@ -31,6 +31,8 @@ const char* to_string(JobStatus status) {
       return "timeout";
     case JobStatus::kCancelled:
       return "cancelled";
+    case JobStatus::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -56,6 +58,12 @@ JobResult BatchRunner::execute(const SimJob& job) const {
   }
 
   const Clock::time_point start = Clock::now();
+  if (options_.retry.max_attempts > 1) {
+    execute_with_retry(job, result);
+    result.wall_seconds = seconds_since(start);
+    return result;
+  }
+
   const bool has_deadline = options_.timeout_seconds > 0.0;
   const Clock::time_point deadline =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -108,6 +116,67 @@ JobResult BatchRunner::execute(const SimJob& job) const {
                                        : JobStatus::kTimeout;
   }
   return result;
+}
+
+void BatchRunner::execute_with_retry(const SimJob& job,
+                                     JobResult& result) const {
+  const RetryPolicy& retry = options_.retry;
+  sim::FallbackOptions fallback;
+  fallback.max_attempts = retry.max_attempts;
+  fallback.backoff_base_seconds = retry.backoff_base_seconds;
+  fallback.backoff_cap_seconds = retry.backoff_cap_seconds;
+  fallback.allow_ssa_fallback = retry.allow_ssa_fallback;
+  fallback.ssa_omega = retry.ssa_omega;
+  fallback.ssa_seed = job.ssa.seed != 0 ? job.ssa.seed : 1;
+  fallback.sleep = retry.sleep;
+  // Each attempt gets a fresh deadline so a transient timeout is actually
+  // worth retrying; cancellation still lands at the next poll point.
+  const bool has_deadline = options_.timeout_seconds > 0.0;
+  const double timeout = options_.timeout_seconds;
+  fallback.make_abort = [this, has_deadline,
+                         timeout]() -> std::function<bool()> {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout));
+    return [this, has_deadline, deadline] {
+      return cancel_requested() || (has_deadline && Clock::now() >= deadline);
+    };
+  };
+
+  sim::FallbackResult run;
+  if (job.kind == SimKind::kOde) {
+    std::vector<double> initial =
+        job.initial.empty() ? job.network->initial_state() : job.initial;
+    run = sim::simulate_ode_with_fallback(*job.network, job.ode, fallback,
+                                          std::move(initial));
+  } else {
+    run = sim::simulate_ssa_with_fallback(*job.network, job.ssa, fallback,
+                                          job.initial);
+  }
+
+  result.end_time = run.end_time;
+  result.ode_steps = run.ode_steps;
+  result.ssa_events = run.ssa_events;
+  result.final_state = std::move(run.final_state);
+  if (options_.keep_trajectories) {
+    result.trajectory = std::move(run.trajectory);
+  }
+  result.failure = run.failure;
+  result.recovery = std::move(run.log);
+  result.attempts = result.recovery.attempts.size() + (run.ok ? 1 : 0);
+  if (run.ok) {
+    result.status = JobStatus::kOk;
+    return;
+  }
+  if (run.failure.kind == sim::SimFailureKind::kDeadline) {
+    result.status = cancel_requested() ? JobStatus::kCancelled
+                                       : JobStatus::kTimeout;
+  } else {
+    // Deterministic failure on every rung it reached: set the job aside.
+    result.status = JobStatus::kQuarantined;
+  }
+  result.error = std::string(sim::to_string(run.failure.kind)) + ": " +
+                 run.failure.detail;
 }
 
 std::vector<JobResult> BatchRunner::run(std::span<const SimJob> jobs) {

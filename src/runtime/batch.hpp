@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/network.hpp"
+#include "sim/fallback.hpp"
 #include "sim/ode.hpp"
 #include "sim/ssa.hpp"
 #include "sim/trajectory.hpp"
@@ -51,15 +52,17 @@ struct SimJob {
 
 enum class JobStatus : std::uint8_t {
   kOk,
-  kFailed,     ///< the stepper threw; see `error`
-  kTimeout,    ///< the per-job deadline fired
-  kCancelled,  ///< BatchRunner::cancel() stopped or skipped the job
+  kFailed,       ///< the stepper threw; see `error`
+  kTimeout,      ///< the per-job deadline fired
+  kCancelled,    ///< BatchRunner::cancel() stopped or skipped the job
+  kQuarantined,  ///< failed deterministically on every fallback rung; the
+                 ///< job is reported and set aside, the campaign continues
 };
 
 struct JobResult {
   JobStatus status = JobStatus::kOk;
   std::string label;
-  std::string error;         ///< failure reason when status == kFailed
+  std::string error;         ///< failure reason when status != kOk
   /// The SSA seed the job ran with (0 for ODE jobs), echoed so failure
   /// reports can name the exact replicate to re-run.
   std::uint64_t seed = 0;
@@ -72,14 +75,41 @@ struct JobResult {
   /// Full trajectory; only kept when BatchOptions::keep_trajectories is set
   /// (ensembles of thousands of replicates would otherwise exhaust memory).
   sim::Trajectory trajectory;
+  /// Attempts actually made (1 when the first try succeeded).
+  std::size_t attempts = 1;
+  /// Classified failure of the last attempt (kind == kNone on success).
+  sim::SimFailure failure{};
+  /// Ladder history when retries are enabled. Deterministic: contains only
+  /// attempt indices, rung names, classified failures, and scheduled
+  /// backoffs, so per-job logs are identical at any thread count.
+  sim::RecoveryLog recovery{};
 };
 
 [[nodiscard]] const char* to_string(JobStatus status);
 
+/// Retry behaviour for failing jobs. The default (max_attempts == 1) is the
+/// original single-shot semantics; raising it routes every job through the
+/// solver fallback ladder (sim/fallback.hpp): non-transient failures step to
+/// a more conservative rung, deadline failures retry the same rung with a
+/// fresh per-attempt deadline after a capped exponential backoff, and a job
+/// that fails deterministically on every rung is *quarantined* — reported in
+/// its slot with status kQuarantined while the rest of the batch proceeds.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;
+  double backoff_base_seconds = 0.0;
+  double backoff_cap_seconds = 2.0;
+  /// Whether the ODE ladder may bottom out in an exact SSA run.
+  bool allow_ssa_fallback = true;
+  double ssa_omega = 1000.0;
+  /// Injectable sleep for backoff (tests pass a no-op). Null really sleeps.
+  std::function<void(double seconds)> sleep;
+};
+
 struct BatchOptions {
   std::size_t threads = 1;      ///< 0 selects the hardware concurrency
-  double timeout_seconds = 0.0;  ///< per-job deadline; 0 disables
+  double timeout_seconds = 0.0;  ///< per-attempt deadline; 0 disables
   bool keep_trajectories = false;
+  RetryPolicy retry{};
 };
 
 class BatchRunner {
@@ -110,6 +140,8 @@ class BatchRunner {
 
  private:
   JobResult execute(const SimJob& job) const;
+  /// Ladder-backed path used when options_.retry.max_attempts > 1.
+  void execute_with_retry(const SimJob& job, JobResult& result) const;
 
   BatchOptions options_;
   std::atomic<bool> cancel_{false};

@@ -59,6 +59,9 @@ EnsembleResult run_ssa_ensemble(const core::ReactionNetwork& network,
       case JobStatus::kCancelled:
         ++result.cancelled;
         break;
+      case JobStatus::kQuarantined:
+        ++result.quarantined;
+        break;
     }
   }
 

@@ -45,6 +45,7 @@ struct EnsembleResult {
   std::size_t failed = 0;
   std::size_t timed_out = 0;
   std::size_t cancelled = 0;
+  std::size_t quarantined = 0;  ///< persistent failures set aside by retries
   double wall_seconds = 0.0;  ///< whole-ensemble wall time
 };
 

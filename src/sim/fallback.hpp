@@ -1,0 +1,156 @@
+// Failure classification and the solver fallback ladder.
+//
+// A simulation attempt can fail for reasons that have nothing to do with the
+// network being wrong: the adaptive controller underflows its step size on a
+// stiff transient, an explicit method blows up to NaN, an SSA run exhausts
+// its event budget, or the batch deadline fires mid-run. `classify_failure`
+// turns the raw result flags into a structured `SimFailure`, and
+// `simulate_*_with_fallback` react to it by walking a ladder of progressively
+// more conservative configurations:
+//
+//   ODE:  as-requested -> "tightened" (smaller tolerances/steps)
+//                      -> "implicit-fixed" (backward Euler, small fixed step)
+//                      -> "ssa-nrm" (exact stochastic, optional)
+//   SSA:  as-requested -> "event-budget" (16x the event cap)
+//                      -> "tau-leap" (approximate accelerated method)
+//
+// Non-transient failures advance one rung; transient ones (deadline) retry
+// the same rung after a capped exponential backoff, on the theory that a
+// fresh per-attempt deadline may suffice. Every failed attempt is recorded
+// in a `RecoveryLog` whose rendering is deterministic — it contains only the
+// attempt index, rung name, classified failure, and the *scheduled* backoff,
+// never wall-clock measurements — so logs compare equal across thread
+// counts and reruns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+#include "sim/trajectory.hpp"
+
+namespace mrsc::sim {
+
+enum class SimFailureKind : std::uint8_t {
+  kNone,            ///< the attempt succeeded
+  kStepUnderflow,   ///< adaptive steps forced through at min_step with err > 1
+  kNonFiniteState,  ///< the state left the finite domain (NaN/Inf)
+  kStepLimit,       ///< OdeOptions::max_steps exhausted before t_end
+  kEventLimit,      ///< SsaOptions::max_events exhausted before t_end
+  kDeadline,        ///< the abort hook fired (deadline or cancellation)
+  kException,       ///< the stepper threw; detail carries what()
+};
+
+[[nodiscard]] const char* to_string(SimFailureKind kind);
+
+/// Transient failures are resource exhaustion that a retry with a fresh
+/// budget may clear (currently only kDeadline — a new attempt gets a new
+/// per-attempt deadline). Everything else is deterministic: the same rung
+/// would fail the same way, so the ladder advances instead.
+[[nodiscard]] bool is_transient(SimFailureKind kind);
+
+struct SimFailure {
+  SimFailureKind kind = SimFailureKind::kNone;
+  std::string detail;  ///< human-readable specifics (counts, what(), ...)
+
+  explicit operator bool() const { return kind != SimFailureKind::kNone; }
+};
+
+/// Inspects the result flags of a finished attempt. Precedence (first match
+/// wins): deadline, non-finite, step/event limit, step underflow.
+[[nodiscard]] SimFailure classify_failure(const OdeResult& result);
+[[nodiscard]] SimFailure classify_failure(const SsaResult& result);
+
+/// One failed attempt as recorded by the ladder. Successful attempts are not
+/// logged; `RecoveryLog::final_rung` names where the run ended up.
+struct RecoveryAttempt {
+  std::size_t attempt = 0;  ///< 0-based attempt index
+  std::string rung;         ///< ladder rung the attempt ran on
+  SimFailure failure;
+  /// Scheduled backoff before the next attempt (0 for rung advances). The
+  /// *scheduled* value is recorded, not the measured sleep, to keep logs
+  /// deterministic.
+  double backoff_seconds = 0.0;
+};
+
+struct RecoveryLog {
+  std::vector<RecoveryAttempt> attempts;  ///< failed attempts, in order
+  std::string final_rung;                 ///< rung of the last attempt
+  bool recovered = false;  ///< succeeded after at least one failure
+
+  /// "rk4:non-finite-state -> tightened:non-finite-state -> implicit-fixed:ok"
+  [[nodiscard]] std::string to_string() const;
+  /// Deterministic single-line JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The "tightened" rung: same method, smaller tolerances/steps. Exposed so
+/// callers that own their observer wiring (the stress campaign harness) can
+/// walk the ladder themselves.
+[[nodiscard]] OdeOptions tightened_options(const OdeOptions& options);
+
+/// The "implicit-fixed" rung: backward Euler at a small fixed step.
+[[nodiscard]] OdeOptions implicit_fixed_options(const OdeOptions& options);
+
+struct FallbackOptions {
+  /// Total attempts across all rungs (>= 1). 1 disables the ladder: the
+  /// first failure is final, matching the plain simulate_* behaviour.
+  std::size_t max_attempts = 4;
+
+  /// Backoff before retrying a transient failure: base * 2^(retry-1),
+  /// capped. Base 0 disables sleeping but still records the rung retry.
+  double backoff_base_seconds = 0.0;
+  double backoff_cap_seconds = 2.0;
+
+  /// Whether the ODE ladder may bottom out in an exact SSA run. Skipped
+  /// automatically when observers are attached (SSA has no observer hook).
+  bool allow_ssa_fallback = true;
+  double ssa_omega = 1000.0;
+  std::uint64_t ssa_seed = 1;
+
+  /// Injectable sleep for the transient backoff; tests pass a no-op or a
+  /// recorder. Null uses std::this_thread::sleep_for.
+  std::function<void(double seconds)> sleep;
+
+  /// Called before each attempt to build that attempt's abort hook (so a
+  /// deadline retry gets a fresh budget). Null reuses the hook already set
+  /// on the simulation options for every attempt.
+  std::function<std::function<bool()>()> make_abort;
+
+  /// Called before every attempt after the first. Callers passing stateful
+  /// observers (edge detectors, samplers) must reset them here or the retry
+  /// will observe stale state.
+  std::function<void()> reset_observers;
+};
+
+struct FallbackResult {
+  bool ok = false;
+  SimFailure failure;  ///< final classified failure when !ok
+  RecoveryLog log;
+  Trajectory trajectory;
+  std::vector<double> final_state;
+  double end_time = 0.0;
+  std::size_t ode_steps = 0;    ///< accepted steps of the last ODE attempt
+  std::uint64_t ssa_events = 0;  ///< events of the last SSA attempt
+  bool used_ssa = false;  ///< the successful attempt ran on an SSA rung
+};
+
+/// Runs `network` down the ODE ladder starting from `options`. Observers are
+/// re-invoked on every attempt (see FallbackOptions::reset_observers); when
+/// any are attached the SSA rung is skipped.
+[[nodiscard]] FallbackResult simulate_ode_with_fallback(
+    const core::ReactionNetwork& network, const OdeOptions& options,
+    const FallbackOptions& fallback, std::vector<double> initial = {},
+    std::span<Observer* const> observers = {});
+
+/// Runs `network` down the SSA ladder starting from `options`.
+[[nodiscard]] FallbackResult simulate_ssa_with_fallback(
+    const core::ReactionNetwork& network, const SsaOptions& options,
+    const FallbackOptions& fallback, std::vector<double> initial = {});
+
+}  // namespace mrsc::sim

@@ -16,6 +16,13 @@ void clamp_nonnegative(std::span<double> x) {
   }
 }
 
+bool has_non_finite(std::span<const double> x) {
+  for (const double v : x) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
 /// Shared bookkeeping: recording, observers, stop checks.
 class RunContext {
  public:
@@ -83,7 +90,7 @@ OdeResult run_rk4(const MassActionSystem& system, const OdeOptions& options,
   RunContext ctx(options, n, observers);
   ctx.record_initial(0.0, x);
 
-  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n), x_new(n);
   double t = 0.0;
   while (t < options.t_end && result.steps_accepted < options.max_steps) {
     const double h = std::min(options.dt, options.t_end - t);
@@ -95,8 +102,13 @@ OdeResult run_rk4(const MassActionSystem& system, const OdeOptions& options,
     for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * k3[i];
     system.rhs(tmp, k4);
     for (std::size_t i = 0; i < n; ++i) {
-      x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      x_new[i] = x[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
     }
+    if (has_non_finite(x_new)) {
+      result.non_finite = true;
+      break;  // x still holds the last finite state
+    }
+    std::swap(x, x_new);
     t += h;
     ++result.steps_accepted;
     if (!ctx.accept(t, x)) break;
@@ -169,6 +181,10 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
       x_new[i] = x[i] + h * (kB1 * k1[i] + kB3 * k3[i] + kB4 * k4[i] +
                              kB5 * k5[i] + kB6 * k6[i]);
     }
+    if (has_non_finite(x_new)) {
+      result.non_finite = true;
+      break;  // x still holds the last finite state
+    }
     system.rhs(x_new, k7);
 
     // Weighted RMS error of the embedded 4th/5th order difference.
@@ -185,6 +201,10 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
     const double err = std::sqrt(err_sq / static_cast<double>(n));
 
     if (err <= 1.0 || h <= options.min_step) {
+      // Accepting at min_step with err > 1 means the controller could not
+      // shrink the step far enough: a step-size underflow (stiffness beyond
+      // the tolerance budget). Count it so the fallback ladder can react.
+      if (err > 1.0) ++result.steps_forced;
       t += h;
       std::swap(x, x_new);
       ++result.steps_accepted;
@@ -192,9 +212,10 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
     } else {
       ++result.steps_rejected;
     }
-    const double factor =
-        (err <= 0.0) ? 5.0
-                     : std::clamp(0.9 * std::pow(err, -0.2), 0.2, 5.0);
+    const double factor = !std::isfinite(err) ? 0.2
+                          : (err <= 0.0)
+                              ? 5.0
+                              : std::clamp(0.9 * std::pow(err, -0.2), 0.2, 5.0);
     h *= factor;
   }
   result.hit_step_limit =
@@ -252,6 +273,10 @@ OdeResult run_backward_euler(const MassActionSystem& system,
       // L-stability is a convenience here, not a correctness requirement.
       system.rhs(x, f);
       for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + h * f[i];
+    }
+    if (has_non_finite(z)) {
+      result.non_finite = true;
+      break;  // x still holds the last finite state
     }
     x = z;
     t += h;

@@ -66,8 +66,15 @@ struct OdeResult {
   Trajectory trajectory;
   std::size_t steps_accepted = 0;
   std::size_t steps_rejected = 0;
+  /// Adaptive steps accepted *at* min_step with the error estimate still
+  /// above 1 (the controller could not shrink further). A nonzero count is
+  /// the step-size-underflow failure signature the fallback ladder reacts to.
+  std::size_t steps_forced = 0;
   bool stopped_by_observer = false;
   bool hit_step_limit = false;
+  /// The state left the finite domain (NaN/Inf). The run stops at the last
+  /// finite state; the recorded trajectory never contains non-finite values.
+  bool non_finite = false;
   bool aborted = false;  ///< OdeOptions::abort requested an early stop
   double end_time = 0.0;
 };

@@ -1,0 +1,112 @@
+// Fault-intensity sweep campaigns: how much perturbation does a design take?
+//
+// A campaign fixes one design and one fault kind, sweeps the fault intensity
+// over a grid, and runs several seeded trials per grid point. Each trial
+// builds a fresh compiled network, applies the seeded `FaultSpec`, drives
+// the design through the standard harness, and compares the logic output
+// against the exact unperturbed reference (the same oracles verify/ uses).
+// The *robustness margin* is the largest intensity for which every trial of
+// every intensity up to and including it still matches the reference — the
+// quantitative counterpart of the paper's "any rates work as long as fast >>
+// slow" claim.
+//
+// Campaigns are built to degrade gracefully, not abort: a trial whose
+// simulation misbehaves is retried down a two-rung ladder (as-requested ->
+// tightened; see sim/fallback.hpp) with fresh observers per attempt, and a
+// trial that still fails is *classified and quarantined* — counted, logged,
+// and the sweep continues. Determinism: trial seeds derive from
+// (base_seed, flat trial index), so results are identical at any thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/reaction.hpp"
+#include "sim/fallback.hpp"
+#include "stress/fault.hpp"
+
+namespace mrsc::stress {
+
+enum class Design : std::uint8_t {
+  kCounter,           ///< 3-bit dual-rail ripple counter, 6 increments
+  kMovingAverage,     ///< y[n] = (x[n] + x[n-1]) / 2, 6 samples
+  kSequenceDetector,  ///< "101" detector FSM, 6 symbols
+  kAsyncChain,        ///< 2-element self-timed delay chain, one token
+};
+
+[[nodiscard]] const char* to_string(Design design);
+[[nodiscard]] std::optional<Design> parse_design(std::string_view name);
+
+struct CampaignConfig {
+  Design design = Design::kCounter;
+  FaultKind fault = FaultKind::kRateJitter;
+  /// kRateJitterCategory only: which category to jitter.
+  core::RateCategory category = core::RateCategory::kSlow;
+  /// Intensity grid, ascending. Empty selects a per-kind default grid.
+  std::vector<double> intensities;
+  /// Seeded trials per grid point.
+  std::size_t trials = 3;
+  std::uint64_t base_seed = 42;
+  std::size_t threads = 1;
+  /// Trial-level ladder attempts (1 = no retry, 2 adds the tightened rung).
+  std::size_t max_attempts = 2;
+};
+
+enum class TrialStatus : std::uint8_t {
+  kOk,          ///< output matched the unperturbed reference
+  kMismatch,    ///< run completed but the verify oracle found a deviation
+  kSimFailure,  ///< simulation failed on every ladder rung; quarantined
+};
+
+[[nodiscard]] const char* to_string(TrialStatus status);
+
+struct TrialResult {
+  std::uint64_t seed = 0;
+  TrialStatus status = TrialStatus::kOk;
+  std::string detail;  ///< oracle violation or classified failure text
+  std::size_t attempts = 1;
+  sim::RecoveryLog recovery{};  ///< non-empty when the ladder was walked
+};
+
+struct IntensityResult {
+  double intensity = 0.0;
+  std::size_t ok = 0;
+  std::size_t mismatch = 0;
+  std::size_t sim_failure = 0;
+  std::size_t recovered = 0;  ///< trials that needed a ladder retry to pass
+  std::vector<TrialResult> trials;
+
+  [[nodiscard]] bool all_ok() const { return ok == trials.size(); }
+};
+
+struct CampaignResult {
+  Design design = Design::kCounter;
+  FaultKind fault = FaultKind::kRateJitter;
+  std::size_t trials_per_intensity = 0;
+  std::uint64_t base_seed = 0;
+  /// What the fault targeted (species name for injection/loss, label prefix
+  /// for clock skew, empty otherwise) — echoed for reproducibility.
+  std::string target;
+  /// Largest intensity with every trial passing at it and below; 0 with
+  /// margin_found == false when the smallest grid point already fails.
+  double margin = 0.0;
+  bool margin_found = false;
+  std::vector<IntensityResult> intensities;
+
+  [[nodiscard]] std::string to_table() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Default intensity grid for a fault kind (ascending).
+[[nodiscard]] std::vector<double> default_intensities(FaultKind kind);
+
+/// Runs the sweep. Throws std::invalid_argument for fault kinds that have no
+/// continuous intensity knob in a campaign (kRateJitterReaction,
+/// kStoichiometry — use apply_faults directly for those).
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace mrsc::stress

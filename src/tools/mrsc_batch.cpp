@@ -23,12 +23,19 @@
 //   --ratios A,B,C     sweep ratios               (default 10,100,1000,10000)
 //   --jitters A,B      sweep jitter factors       (default 1)
 //   --species A,B,C    which species to report    (default all)
+//   --retries N        extra attempts per failing job; each walks the solver
+//                      fallback ladder one rung (default 0, single-shot);
+//                      recovery logs land in --json
 //   --opt              run the -O1 compile pipeline on the loaded network
 //                      first (--species names are pinned as roots); the
 //                      per-pass report is printed and lands in --json
 //   --json PATH        write machine-readable results
 //
-// Exits nonzero on error or if any job failed.
+// Exit codes:
+//   0  every job finished ok (possibly after retries)
+//   1  at least one job failed / timed out / was quarantined after retries,
+//      or a runtime error (unreadable file, unwritable --json)
+//   2  bad CLI usage: unknown flag, malformed value, unknown --species name
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -64,6 +71,7 @@ struct CliOptions {
   std::vector<double> ratios = {10.0, 100.0, 1000.0, 10000.0};
   std::vector<double> jitters = {1.0};
   std::vector<std::string> species;
+  std::size_t retries = 0;  // extra attempts beyond the first
   bool opt = false;
   std::string json;
   // Compile report JSON from --opt, embedded in the --json output.
@@ -77,7 +85,7 @@ void usage() {
       "       [--replicates R] [--timeout S] [--seed S] [--t-end T]\n"
       "       [--method ssa|nrm|tau|dp45|rk4|be] [--omega W] [--record DT]\n"
       "       [--tau T] [--dt H] [--ratios A,B,C] [--jitters A,B]\n"
-      "       [--species A,B,C] [--opt] [--json PATH]\n");
+      "       [--species A,B,C] [--retries N] [--opt] [--json PATH]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -182,6 +190,10 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       if (!parse_double_list(arg, value, options.jitters)) return false;
     } else if (std::strcmp(arg, "--species") == 0) {
       options.species = split_commas(value);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      std::uint64_t retries = 0;
+      if (!parse_u64(arg, value, retries)) return false;
+      options.retries = static_cast<std::size_t>(retries);
     } else if (std::strcmp(arg, "--json") == 0) {
       options.json = value;
     } else if (arg[0] == '-') {
@@ -291,6 +303,7 @@ int run_ensemble(const core::ReactionNetwork& network,
   options.base_seed = cli.seed;
   options.batch.threads = cli.jobs;
   options.batch.timeout_seconds = cli.timeout;
+  options.batch.retry.max_attempts = cli.retries + 1;
 
   const runtime::EnsembleResult result =
       runtime::run_ssa_ensemble(network, ssa, options);
@@ -299,11 +312,12 @@ int run_ensemble(const core::ReactionNetwork& network,
 
   std::printf(
       "ensemble: %zu replicates (%s, omega=%g, t_end=%g) on %zu worker(s)\n"
-      "          %zu ok, %zu failed, %zu timeout, %zu cancelled in %.3fs "
-      "(%.1f jobs/s)\n",
+      "          %zu ok, %zu failed, %zu timeout, %zu cancelled, "
+      "%zu quarantined in %.3fs (%.1f jobs/s)\n",
       options.replicates, method.c_str(), ssa.omega, ssa.t_end,
       runtime::BatchRunner(options.batch).options().threads, result.ok,
-      result.failed, result.timed_out, result.cancelled, result.wall_seconds,
+      result.failed, result.timed_out, result.cancelled, result.quarantined,
+      result.wall_seconds,
       static_cast<double>(options.replicates) /
           std::max(result.wall_seconds, 1e-12));
   std::printf("final state over ok replicates:\n");
@@ -336,6 +350,8 @@ int run_ensemble(const core::ReactionNetwork& network,
     json += "  \"failed\": " + std::to_string(result.failed) + ",\n";
     json += "  \"timeout\": " + std::to_string(result.timed_out) + ",\n";
     json += "  \"cancelled\": " + std::to_string(result.cancelled) + ",\n";
+    json += "  \"quarantined\": " + std::to_string(result.quarantined) +
+            ",\n";
     json += "  \"wall_seconds\": ";
     append_json_number(json, result.wall_seconds);
     json += ",\n  \"species\": [\n";
@@ -367,6 +383,20 @@ int run_ensemble(const core::ReactionNetwork& network,
     json += "],\n  \"replicate_seeds\": [";
     for (std::size_t i = 0; i < result.replicates.size(); ++i) {
       json += std::to_string(result.replicates[i].seed);
+      if (i + 1 < result.replicates.size()) json += ", ";
+    }
+    // Retry bookkeeping: attempts per replicate and the ladder history of
+    // every replicate that needed one (null for clean first-try successes).
+    // Results are in job order, so these arrays line up with the seeds.
+    json += "],\n  \"replicate_attempts\": [";
+    for (std::size_t i = 0; i < result.replicates.size(); ++i) {
+      json += std::to_string(result.replicates[i].attempts);
+      if (i + 1 < result.replicates.size()) json += ", ";
+    }
+    json += "],\n  \"recovery\": [";
+    for (std::size_t i = 0; i < result.replicates.size(); ++i) {
+      const runtime::JobResult& job = result.replicates[i];
+      json += job.recovery.attempts.empty() ? "null" : job.recovery.to_json();
       if (i + 1 < result.replicates.size()) json += ", ";
     }
     json += "]\n}\n";
@@ -429,8 +459,11 @@ int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
                     std::to_string(grid[i].jitter);
   }
 
-  runtime::BatchRunner runner(
-      {.threads = cli.jobs, .timeout_seconds = cli.timeout});
+  runtime::BatchOptions batch;
+  batch.threads = cli.jobs;
+  batch.timeout_seconds = cli.timeout;
+  batch.retry.max_attempts = cli.retries + 1;
+  runtime::BatchRunner runner(batch);
   const std::vector<runtime::JobResult> results = runner.run(jobs);
   const std::vector<core::SpeciesId> report =
       resolve_species(network, cli.species);
@@ -483,6 +516,9 @@ int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
       json += "\", \"wall_seconds\": ";
       append_json_number(json, job.wall_seconds);
       json += ", \"ode_steps\": " + std::to_string(job.ode_steps);
+      json += ", \"attempts\": " + std::to_string(job.attempts);
+      json += ", \"recovery\": ";
+      json += job.recovery.attempts.empty() ? "null" : job.recovery.to_json();
       json += ", \"final\": {";
       for (std::size_t s = 0; s < report.size(); ++s) {
         json += "\"" + network.species_name(report[s]) + "\": ";
@@ -533,6 +569,14 @@ int main(int argc, char** argv) {
       optimized.report.design = cli.file;
       std::printf("%s", optimized.report.to_table().c_str());
       cli.compile_json = optimized.report.to_json();
+    }
+    // A --species typo is bad usage (exit 2), not a job failure (exit 1):
+    // validate the names before any simulation runs.
+    try {
+      (void)resolve_species(network, cli.species);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_batch: --species: %s\n", error.what());
+      return 2;
     }
     return cli.mode == "ensemble" ? run_ensemble(network, cli)
                                   : run_sweep(network, cli);

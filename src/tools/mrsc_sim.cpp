@@ -19,7 +19,12 @@
 //                      first (--species names are pinned as roots) and
 //                      print the per-pass table
 //
-// Prints the final state of the reported species; exits nonzero on error.
+// Prints the final state of the reported species.
+//
+// Exit codes:
+//   0  simulation finished and the report was written
+//   1  runtime failure: unreadable file, stepper error, event-limit hit
+//   2  bad CLI usage: unknown flag/method, malformed value, unknown species
 #include <algorithm>
 #include <cstdio>
 #include <cstring>

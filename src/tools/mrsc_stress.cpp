@@ -1,0 +1,214 @@
+// mrsc_stress — fault-intensity sweep campaigns over the built-in designs.
+//
+//   mrsc_stress [options]
+//
+// Sweeps one fault kind's intensity over a grid against one design, several
+// seeded trials per grid point, and reports the robustness margin: the
+// largest intensity at which every trial (at it and below) still matches the
+// exact unperturbed reference. Trials whose simulation misbehaves walk the
+// solver fallback ladder; trials that fail every rung are classified and
+// quarantined — the sweep never crashes on a hard fault.
+//
+//   --design D         counter | moving_average | sequence_detector |
+//                      async_chain                      (default counter)
+//   --fault F          rate-jitter | category-jitter | clock-skew | leak |
+//                      injection | loss | initial-noise (default rate-jitter)
+//   --category C       fast | slow, for category-jitter (default slow)
+//   --intensities A,B  ascending grid                   (default: per-kind)
+//   --trials N         seeded trials per grid point     (default 3)
+//   --seed S           base seed                        (default 42)
+//   --threads N        worker threads, 0 = hardware     (default 1)
+//   --attempts N       trial ladder attempts            (default 2)
+//   --json             print the campaign as JSON instead of a table
+//
+// Exit codes:
+//   0  campaign completed (the margin itself is a measurement, not a verdict)
+//   1  runtime failure while running the campaign
+//   2  bad CLI usage: unknown flag, design, fault kind, or malformed value
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stress/campaign.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  stress::CampaignConfig config;
+  bool json = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsc_stress [--design counter|moving_average|"
+      "sequence_detector|async_chain]\n"
+      "       [--fault rate-jitter|category-jitter|clock-skew|leak|"
+      "injection|loss|initial-noise]\n"
+      "       [--category fast|slow] [--intensities A,B,C] [--trials N]\n"
+      "       [--seed S] [--threads N] [--attempts N] [--json]\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_double(const char* flag, const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_stress: %s: '%s' is not a number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_stress: %s: '%s' is not a whole number\n",
+                 flag, text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_stress: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(arg, "--design") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      const auto design = stress::parse_design(v);
+      if (!design) {
+        std::fprintf(stderr, "mrsc_stress: unknown design '%s'\n", v);
+        return false;
+      }
+      options.config.design = *design;
+    } else if (std::strcmp(arg, "--fault") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      const auto fault = stress::parse_fault_kind(v);
+      if (!fault) {
+        std::fprintf(stderr, "mrsc_stress: unknown fault kind '%s'\n", v);
+        return false;
+      }
+      options.config.fault = *fault;
+    } else if (std::strcmp(arg, "--category") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (std::strcmp(v, "fast") == 0) {
+        options.config.category = core::RateCategory::kFast;
+      } else if (std::strcmp(v, "slow") == 0) {
+        options.config.category = core::RateCategory::kSlow;
+      } else {
+        std::fprintf(stderr,
+                     "mrsc_stress: --category must be fast or slow\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--intensities") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.config.intensities.clear();
+      for (const std::string& item : split_commas(v)) {
+        double value = 0.0;
+        if (!parse_double(arg, item.c_str(), value)) return false;
+        if (value <= 0.0) {
+          std::fprintf(stderr, "mrsc_stress: --intensities must be > 0\n");
+          return false;
+        }
+        options.config.intensities.push_back(value);
+      }
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      const char* v = need_value(i);
+      std::uint64_t trials = 0;
+      if (!v || !parse_u64(arg, v, trials)) return false;
+      if (trials == 0) {
+        std::fprintf(stderr, "mrsc_stress: --trials must be >= 1\n");
+        return false;
+      }
+      options.config.trials = static_cast<std::size_t>(trials);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = need_value(i);
+      if (!v || !parse_u64(arg, v, options.config.base_seed)) return false;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* v = need_value(i);
+      std::uint64_t threads = 0;
+      if (!v || !parse_u64(arg, v, threads)) return false;
+      options.config.threads = static_cast<std::size_t>(threads);
+    } else if (std::strcmp(arg, "--attempts") == 0) {
+      const char* v = need_value(i);
+      std::uint64_t attempts = 0;
+      if (!v || !parse_u64(arg, v, attempts)) return false;
+      if (attempts == 0) {
+        std::fprintf(stderr, "mrsc_stress: --attempts must be >= 1\n");
+        return false;
+      }
+      options.config.max_attempts = static_cast<std::size_t>(attempts);
+    } else {
+      std::fprintf(stderr, "mrsc_stress: unknown option %s\n", arg);
+      return false;
+    }
+  }
+  if (options.config.fault == stress::FaultKind::kRateJitterReaction ||
+      options.config.fault == stress::FaultKind::kStoichiometry) {
+    std::fprintf(stderr,
+                 "mrsc_stress: --fault %s has no intensity knob; campaigns "
+                 "sweep continuous fault kinds only\n",
+                 stress::to_string(options.config.fault));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+  try {
+    const stress::CampaignResult result = stress::run_campaign(cli.config);
+    if (cli.json) {
+      std::printf("%s", result.to_json().c_str());
+    } else {
+      std::printf("%s", result.to_table().c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_stress: %s\n", error.what());
+    return 1;
+  }
+}

@@ -8,7 +8,7 @@
 
 #include "core/builder.hpp"
 #include "core/io.hpp"
-#include "verify/fault.hpp"
+#include "stress/fault.hpp"
 #include "verify/generator.hpp"
 #include "verify/oracles.hpp"
 #include "verify/shrink.hpp"
@@ -94,7 +94,7 @@ TEST(FaultInjection, IncrementsFirstProductStoichiometry) {
   b.species("B", 0.0);
   b.reaction("A -> B", 1.0);
   const ReactionNetwork faulted =
-      testing::with_stoichiometry_fault(net, core::ReactionId{0});
+      stress::with_stoichiometry_fault(net, core::ReactionId{0});
   ASSERT_EQ(faulted.reaction(core::ReactionId{0}).products().size(), 1u);
   EXPECT_EQ(faulted.reaction(core::ReactionId{0}).products()[0].stoich, 2u);
   // The original is untouched.
@@ -107,7 +107,7 @@ TEST(FaultInjection, SinkGainsItsReactantAsProduct) {
   b.species("A", 1.0);
   b.reaction("A -> 0", 1.0);
   const ReactionNetwork faulted =
-      testing::with_stoichiometry_fault(net, core::ReactionId{0});
+      stress::with_stoichiometry_fault(net, core::ReactionId{0});
   ASSERT_EQ(faulted.reaction(core::ReactionId{0}).products().size(), 1u);
   EXPECT_EQ(faulted.reaction(core::ReactionId{0}).products()[0].species,
             core::SpeciesId{0});
@@ -122,10 +122,10 @@ TEST(FaultInjection, CorruptedClockIsCaughtAndShrunk) {
   GeneratedCase c =
       generate_case(CaseKind::kSyncCircuit, 3, options.generator);
 
-  const core::ReactionId target = testing::find_reaction_by_label(
+  const core::ReactionId target = stress::find_reaction_by_label(
       c.network(), "f_clk.hop.r2g.seed");
   ReactionNetwork faulted =
-      testing::with_stoichiometry_fault(c.network(), target);
+      stress::with_stoichiometry_fault(c.network(), target);
   std::get<SyncCase>(c.payload).network = std::move(faulted);
 
   const auto violations = check_case(c, options);
