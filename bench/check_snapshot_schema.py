@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare the key schema of a regenerated bench JSON against a committed
+snapshot (bench/snapshots/).
+
+Timings, throughputs, and margins drift run to run and machine to machine;
+the *shape* of the report may not — a renamed or dropped key silently breaks
+every dashboard and CI grep keyed on it. This check regenerates the report
+and requires the same set of key paths (list elements are collapsed to "[]",
+so growing a list is fine, changing its element schema is not).
+
+Keys that only appear for particular outcomes (a trial's recovery log, a
+failure detail) can be declared with --optional PREFIX; paths under an
+optional prefix are excluded from the comparison on both sides.
+
+usage: check_snapshot_schema.py SNAPSHOT.json FRESH.json [--optional PREFIX]...
+exit:  0 schemas match, 1 schema drift, 2 usage/IO error
+"""
+import json
+import sys
+
+
+def schema(node, prefix=""):
+    keys = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            keys.add(path)
+            keys |= schema(value, path)
+    elif isinstance(node, list):
+        for item in node:
+            keys |= schema(item, prefix + "[]")
+    return keys
+
+
+def main(argv):
+    paths = []
+    optional = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--optional":
+            if i + 1 >= len(argv):
+                sys.stderr.write(__doc__)
+                return 2
+            optional.append(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    argv = [argv[0]] + paths
+
+    def keep(key):
+        return not any(key == p or key.startswith(p + ".") or
+                       key.startswith(p + "[]") for p in optional)
+
+    try:
+        with open(argv[1]) as f:
+            snapshot = {k for k in schema(json.load(f)) if keep(k)}
+        with open(argv[2]) as f:
+            fresh = {k for k in schema(json.load(f)) if keep(k)}
+    except (OSError, json.JSONDecodeError) as error:
+        sys.stderr.write(f"check_snapshot_schema: {error}\n")
+        return 2
+    missing = sorted(snapshot - fresh)
+    added = sorted(fresh - snapshot)
+    for key in missing:
+        print(f"key in snapshot but not in fresh run: {key}")
+    for key in added:
+        print(f"key in fresh run but not in snapshot: {key}")
+    if missing or added:
+        print(f"schema drift against {argv[1]} "
+              f"({len(missing)} missing, {len(added)} added)")
+        return 1
+    print(f"{argv[1]}: schema matches ({len(snapshot)} key paths)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "compile/compose.hpp"
 
+#include <stdexcept>
+
 namespace mrsc::compile {
 
 namespace {
@@ -35,6 +37,55 @@ std::vector<SpeciesId> merge_network(ReactionNetwork& target,
     target.reaction_mutable(id).set_rate_multiplier(r.rate_multiplier());
   }
   return map;
+}
+
+std::optional<std::size_t> Composition::layer_of(SpeciesId id) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const ComposedLayer& layer = layers[i];
+    if (id.index() >= layer.first_species &&
+        id.index() < layer.first_species + layer.species_count) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t CascadeComposer::add_layer(const ReactionNetwork& source,
+                                       const std::string& prefix,
+                                       std::vector<SpeciesId>* id_map) {
+  ComposedLayer layer;
+  layer.prefix = prefix;
+  layer.first_species = target_.species_count();
+  std::vector<SpeciesId> map = merge_network(target_, source, prefix);
+  layer.species_count = target_.species_count() - layer.first_species;
+  composition_.layers.push_back(std::move(layer));
+  if (id_map != nullptr) *id_map = std::move(map);
+  return composition_.layers.size() - 1;
+}
+
+ReactionId CascadeComposer::wire(SpeciesId upstream, SpeciesId downstream,
+                                 const std::string& label) {
+  const auto from = composition_.layer_of(upstream);
+  const auto to = composition_.layer_of(downstream);
+  if (!from || !to) {
+    throw std::invalid_argument(
+        "CascadeComposer::wire: species outside every layer");
+  }
+  if (*from == *to) {
+    throw std::invalid_argument(
+        "CascadeComposer::wire: both endpoints in layer '" +
+        composition_.layers[*from].prefix + "'");
+  }
+  const ReactionId reaction =
+      target_.add({{upstream, 1}}, {{downstream, 1}},
+                  core::RateCategory::kFast, 0.0, label);
+  composition_.interfaces.push_back(
+      InterfaceBinding{*from, *to, upstream, downstream, reaction});
+  return reaction;
+}
+
+void CascadeComposer::mark_terminal(SpeciesId id) {
+  composition_.terminals.push_back(id);
 }
 
 }  // namespace mrsc::compile

@@ -5,8 +5,17 @@
 // analogue of design reuse. The analysis companions (untouched_species,
 // unreachable_species) live in passes.hpp with the rest of the pass
 // framework.
+//
+// `CascadeComposer` layers merges into a structured composition: it records
+// which species belong to which sub-design and which reactions were
+// deliberately emitted as inter-layer channels. That record is what the
+// static analyzer's ISS composition check consumes — the structural
+// sufficient conditions for input-to-state stability of a cascade
+// (arXiv 2506.12056, 2512.07116) are conditions *per interface*, so the
+// composition must know where the interfaces are.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,5 +32,68 @@ namespace mrsc::compile {
 std::vector<core::SpeciesId> merge_network(core::ReactionNetwork& target,
                                            const core::ReactionNetwork& source,
                                            const std::string& prefix);
+
+/// One merged sub-design: its species occupy the contiguous target id range
+/// [first_species, first_species + species_count).
+struct ComposedLayer {
+  std::string prefix;
+  std::size_t first_species = 0;
+  std::size_t species_count = 0;
+};
+
+/// A declared inter-layer channel: `upstream` is moved into `downstream` by
+/// the fast unit-stoichiometry transfer `reaction`.
+struct InterfaceBinding {
+  std::size_t from_layer = 0;
+  std::size_t to_layer = 0;
+  core::SpeciesId upstream;
+  core::SpeciesId downstream;
+  core::ReactionId reaction;
+};
+
+/// The full composition record handed to the ISS check.
+struct Composition {
+  std::vector<ComposedLayer> layers;
+  std::vector<InterfaceBinding> interfaces;
+  /// Species the surrounding harness samples-and-clears (final output
+  /// ports): exempt from the dissipativity condition of the ISS check,
+  /// because their outflow is external.
+  std::vector<core::SpeciesId> terminals;
+
+  /// Index of the layer owning `id`, or nullopt for species created outside
+  /// any add_layer call.
+  [[nodiscard]] std::optional<std::size_t> layer_of(core::SpeciesId id) const;
+};
+
+/// Builds a layered composition on top of `merge_network`, recording layer
+/// membership and interface wiring as it goes.
+class CascadeComposer {
+ public:
+  explicit CascadeComposer(core::ReactionNetwork& target) : target_(target) {}
+
+  /// Merges `source` under `prefix` and records it as a new layer; returns
+  /// the layer index. When `id_map` is non-null it receives the source-id ->
+  /// target-id map (same as merge_network returns).
+  std::size_t add_layer(const core::ReactionNetwork& source,
+                        const std::string& prefix,
+                        std::vector<core::SpeciesId>* id_map = nullptr);
+
+  /// Declares a channel from `upstream` (a species of one layer) into
+  /// `downstream` (a species of a *different* layer) and emits the fast
+  /// transfer `upstream -> downstream` realizing it. Throws
+  /// `std::invalid_argument` when either species is outside any layer or
+  /// both live in the same layer.
+  core::ReactionId wire(core::SpeciesId upstream, core::SpeciesId downstream,
+                        const std::string& label = {});
+
+  /// Marks a species as externally sampled (see Composition::terminals).
+  void mark_terminal(core::SpeciesId id);
+
+  [[nodiscard]] const Composition& composition() const { return composition_; }
+
+ private:
+  core::ReactionNetwork& target_;
+  Composition composition_;
+};
 
 }  // namespace mrsc::compile

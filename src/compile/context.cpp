@@ -153,13 +153,30 @@ FinalizeResult LoweringContext::finalize(const CompileOptions& options,
   }
 
   FinalizeResult result;
-  if (!options.validate && options.opt == OptLevel::kO0 && !options.report) {
-    return result;  // nothing to run, nothing to observe
+  const std::size_t reactions_before = network_.reaction_count();
+  if (options.validate || options.opt != OptLevel::kO0 || options.report) {
+    const PassManager manager =
+        PassManager::standard(options.opt, options.validate);
+    result.remap = manager.run(network_, inputs, options.report);
+    result.optimized = options.opt >= OptLevel::kO1;
   }
-  const PassManager manager =
-      PassManager::standard(options.opt, options.validate);
-  result.remap = manager.run(network_, inputs, options.report);
-  result.optimized = options.opt >= OptLevel::kO1;
+
+  if (options.design_info != nullptr) {
+    DesignInfo& info = *options.design_info;
+    info.roots.clear();
+    for (const auto& [id, role] : roots_) {
+      const core::SpeciesId mapped = result(id);
+      if (mapped != core::SpeciesId::invalid()) {
+        info.roots.emplace_back(mapped, role);
+      }
+    }
+    // canonicalize rebuilds reactions in place (same count, same order), so
+    // tags survive it; coalesce/dead-species-elim drop reactions and
+    // invalidate the range.
+    info.tags_valid = network_.reaction_count() == reactions_before;
+    info.tags = info.tags_valid ? tags_ : std::vector<ReactionTag>{};
+    info.first_tagged = first_reaction_;
+  }
   return result;
 }
 

@@ -21,8 +21,9 @@
 
 namespace mrsc::compile {
 
-/// Why a species is part of the design's external interface.
-enum class PortRole : std::uint8_t { kInput, kOutput, kState, kClock };
+// PortRole lives in passes.hpp (next to DesignInfo, which stores it); it is
+// re-exported here by the include above for the front-ends that spell it
+// compile::PortRole.
 
 /// The three phase-colored copies of one register.
 struct ColorTriple {

@@ -43,6 +43,25 @@ enum class ReactionTag : std::uint8_t {
   kAnnihilation,    // fast pairwise annihilation (dual-rail normalization)
 };
 
+/// Why a species is part of the design's external interface.
+enum class PortRole : std::uint8_t { kInput, kOutput, kState, kClock };
+
+/// Interface and emission metadata captured by LoweringContext::finalize for
+/// PassManager-adjacent consumers — chiefly the static analyzer in
+/// `lint/`, which needs the role of every root and the semantic tag of
+/// every lowered reaction. Root ids refer to the *final* network (they are
+/// remapped when the pipeline renumbers species; eliminated roots are
+/// dropped). `tags[i]` describes reaction `first_tagged + i` and the range
+/// is only meaningful while `tags_valid`: the shrinking passes rewrite the
+/// reaction table, so after a kO1 pipeline that changed the reaction count
+/// the tag range is dropped and tag-indexed checks must be skipped.
+struct DesignInfo {
+  std::vector<std::pair<core::SpeciesId, PortRole>> roots;
+  std::vector<ReactionTag> tags;
+  std::size_t first_tagged = 0;
+  bool tags_valid = false;
+};
+
 /// Options threaded from a front-end `compile()` call into the pipeline.
 struct CompileOptions {
   OptLevel opt = OptLevel::kO0;
@@ -54,6 +73,9 @@ struct CompileOptions {
   std::vector<std::string> assume_zero_inputs;
   /// When non-null, filled with per-pass statistics.
   CompileReport* report = nullptr;
+  /// When non-null, filled with the design's interface roles and emission
+  /// tags so the static analyzer can run without re-lowering.
+  DesignInfo* design_info = nullptr;
 };
 
 /// What the caller of a pipeline knows about the network being optimized.

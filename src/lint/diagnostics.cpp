@@ -1,0 +1,117 @@
+#include "lint/diagnostics.hpp"
+
+namespace mrsc::lint {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += json_escape(items[i]);
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool LintReport::clean(bool werror) const {
+  if (errors() > 0) return false;
+  if (werror && warnings() > 0) return false;
+  return true;
+}
+
+bool LintReport::has(const std::string& id) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+std::string LintReport::to_text(bool show_info) const {
+  std::string out;
+  if (!design.empty()) out += "lint: " + design + "\n";
+  for (const Diagnostic& d : diagnostics) {
+    if (!show_info && d.severity == Severity::kInfo) continue;
+    out += std::string(to_string(d.severity)) + " " + d.id + " [" + d.check +
+           "] " + d.message + "\n";
+    for (const std::string& note : d.notes) {
+      out += "    note: " + note + "\n";
+    }
+  }
+  for (const std::string& skipped : checks_skipped) {
+    out += "skipped " + skipped + "\n";
+  }
+  out += std::to_string(errors()) + " error(s), " +
+         std::to_string(warnings()) + " warning(s); " +
+         std::to_string(checks_run.size()) + " check(s) run, " +
+         std::to_string(checks_skipped.size()) + " skipped\n";
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"design\": \"" + json_escape(design) + "\",\n";
+  out += "  \"checks_run\": " + json_string_array(checks_run) + ",\n";
+  out += "  \"checks_skipped\": " + json_string_array(checks_skipped) + ",\n";
+  out += "  \"errors\": " + std::to_string(errors()) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warnings()) + ",\n";
+  out += "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ",";
+    out += "\n    {\"id\": \"" + json_escape(d.id) + "\"";
+    out += ", \"severity\": \"" + std::string(to_string(d.severity)) + "\"";
+    out += ", \"check\": \"" + json_escape(d.check) + "\"";
+    out += ", \"message\": \"" + json_escape(d.message) + "\"";
+    out += ", \"notes\": [";
+    for (std::size_t j = 0; j < d.notes.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += '"';
+      out += json_escape(d.notes[j]);
+      out += '"';
+    }
+    out += "]}";
+  }
+  if (!diagnostics.empty()) out += "\n  ";
+  out += "]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mrsc::lint

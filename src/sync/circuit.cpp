@@ -280,6 +280,7 @@ CompiledCircuit CircuitBuilder::compile(
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     triples[i] = ctx.color_triple(registers_[i].name, registers_[i].initial);
     compiled.register_state.emplace(registers_[i].name, triples[i].red);
+    ctx.declare_root(triples[i].red, compile::PortRole::kState);
   }
 
   // The combinational release runs during the RED phase; the register's two

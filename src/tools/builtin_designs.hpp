@@ -1,0 +1,38 @@
+// Built-in example designs shared by the mrsc_compile and mrsc_lint CLIs.
+//
+// Every design compiles through the shared lowering pipeline with
+// CompileOptions::design_info wired up, so the static analyzer gets the
+// interface roles and emission tags for free. The "cascade" design is the
+// CascadeComposer demonstrator: two independently compiled delay lines
+// joined by a declared interface channel, which is what the ISS
+// composition check certifies.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "compile/compose.hpp"
+#include "compile/passes.hpp"
+#include "core/network.hpp"
+
+namespace mrsc::tools {
+
+/// A compiled built-in design plus the analyzer-facing metadata.
+struct BuiltDesign {
+  std::unique_ptr<core::ReactionNetwork> owned;
+  core::ReactionNetwork* network = nullptr;
+  compile::DesignInfo info;
+  /// Non-null only for composed designs ("cascade").
+  std::unique_ptr<compile::Composition> composition;
+};
+
+/// Comma-separated list for usage strings.
+[[nodiscard]] const char* builtin_design_names();
+
+/// Compiles a built-in design by name; throws std::invalid_argument for an
+/// unknown name. `options.design_info` is managed internally (the result's
+/// `info` member is always filled).
+[[nodiscard]] BuiltDesign build_design(const std::string& name,
+                                       compile::CompileOptions options);
+
+}  // namespace mrsc::tools

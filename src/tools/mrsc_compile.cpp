@@ -4,9 +4,8 @@
 //   mrsc_compile FILE.crn [options]
 //   mrsc_compile --design NAME [options]
 //
-//   --design NAME      compile a built-in design instead of a file:
-//                      counter, moving_average, iir, first_difference,
-//                      delay, seqdet
+//   --design NAME      compile a built-in design instead of a file (see
+//                      tools/builtin_designs.hpp for the list)
 //   --opt 0|1          optimization level               (default 1)
 //   --assume-zero A,B  input ports promised to stay zero; their dead cone
 //                      is eliminated at -O1 (built-in circuit designs only)
@@ -15,6 +14,9 @@
 //                      automatically)
 //   --json PATH        write the per-pass CompileReport as JSON
 //   --out PATH         write the compiled/optimized network as .crn text
+//   --lint             run the static analyzer (lint/) over the compiled
+//                      network and print its report; lint errors make the
+//                      exit code 1
 //
 // Prints the per-pass table on stdout; exits nonzero on error.
 #include <cstdio>
@@ -28,9 +30,8 @@
 #include "compile/passes.hpp"
 #include "compile/report.hpp"
 #include "core/io.hpp"
-#include "dsp/counter.hpp"
-#include "dsp/filters.hpp"
-#include "fsm/fsm.hpp"
+#include "lint/lint.hpp"
+#include "tools/builtin_designs.hpp"
 
 namespace {
 
@@ -44,6 +45,7 @@ struct CliOptions {
   std::vector<std::string> roots;
   std::string json;
   std::string out;
+  bool lint = false;
 };
 
 void usage() {
@@ -51,8 +53,9 @@ void usage() {
       stderr,
       "usage: mrsc_compile [FILE.crn | --design NAME] [--opt 0|1]\n"
       "       [--assume-zero A,B] [--roots A,B] [--json PATH] [--out PATH]\n"
-      "       designs: counter, moving_average, iir, first_difference,\n"
-      "                delay, seqdet\n");
+      "       [--lint]\n"
+      "       designs: %s\n",
+      mrsc::tools::builtin_design_names());
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -88,6 +91,10 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.file = arg;
       continue;
     }
+    if (std::strcmp(arg, "--lint") == 0) {
+      options.lint = true;
+      continue;
+    }
     const char* value = need_value(i);
     if (value == nullptr) return false;
     if (std::strcmp(arg, "--design") == 0) {
@@ -119,48 +126,6 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-/// Owns the network a built-in design compiles into (dsp::Design already
-/// heap-allocates its own; counter/fsm need a fresh one).
-struct Compiled {
-  std::unique_ptr<core::ReactionNetwork> owned;
-  core::ReactionNetwork* network = nullptr;
-};
-
-Compiled compile_design(const std::string& name,
-                        const compile::CompileOptions& options) {
-  Compiled result;
-  if (name == "counter") {
-    result.owned = std::make_unique<core::ReactionNetwork>();
-    dsp::build_counter(*result.owned, dsp::CounterSpec{}, options);
-    result.network = result.owned.get();
-    return result;
-  }
-  if (name == "seqdet") {
-    result.owned = std::make_unique<core::ReactionNetwork>();
-    fsm::FsmSpec spec = fsm::make_sequence_detector("101");
-    fsm::build_fsm(*result.owned, spec, options);
-    result.network = result.owned.get();
-    return result;
-  }
-  dsp::Design design;
-  if (name == "moving_average") {
-    design = dsp::make_moving_average({}, options);
-  } else if (name == "iir") {
-    design = dsp::make_second_order_iir({}, options);
-  } else if (name == "first_difference") {
-    design = dsp::make_first_difference({}, options);
-  } else if (name == "delay") {
-    design = dsp::make_delay_line(3, {}, options);
-  } else {
-    throw std::invalid_argument("unknown design '" + name +
-                                "' (try counter, moving_average, iir, "
-                                "first_difference, delay, seqdet)");
-  }
-  result.owned = std::move(design.network);
-  result.network = result.owned.get();
-  return result;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,10 +142,10 @@ int main(int argc, char** argv) {
     compile_options.assume_zero_inputs = cli.assume_zero;
     compile_options.report = &report;
 
-    Compiled compiled;
+    tools::BuiltDesign compiled;
     if (!cli.design.empty()) {
       report.design = cli.design;
-      compiled = compile_design(cli.design, compile_options);
+      compiled = tools::build_design(cli.design, compile_options);
     } else {
       report.design = cli.file;
       compiled.owned = std::make_unique<core::ReactionNetwork>(
@@ -227,6 +192,14 @@ int main(int argc, char** argv) {
     if (!cli.out.empty()) {
       core::save_network(*compiled.network, cli.out);
       std::printf("network written to %s\n", cli.out.c_str());
+    }
+    if (cli.lint) {
+      lint::LintInput input = lint::LintInput::from_design(
+          *compiled.network, compiled.info, report.design);
+      input.composition = compiled.composition.get();
+      const lint::LintReport lint_report = lint::run_lint(input);
+      std::printf("%s", lint_report.to_text().c_str());
+      if (!lint_report.clean()) return 1;
     }
     return 0;
   } catch (const std::exception& error) {

@@ -1,0 +1,238 @@
+// mrsc_lint — static analysis over compiled designs, before any simulation.
+//
+//   mrsc_lint --design NAME [options]
+//   mrsc_lint --design all  [options]     lint every built-in design
+//   mrsc_lint FILE.crn [options]          lint a serialized network
+//
+//   --design NAME      built-in design to compile and analyze (see list
+//                      below), or "all"
+//   --roots A,B        species treated as design ports (FILE mode; built-in
+//                      designs carry their port roster automatically)
+//   --opt 0|1          optimization level to lint at (default 0: the
+//                      unoptimized network keeps its emission tags, so
+//                      every check can run)
+//   --checks a,b       run only the named checks (default: all)
+//   --json PATH        write the LintReport(s) as JSON ("-" for stdout)
+//   --werror           treat warnings as errors for the exit code
+//   --quiet            suppress info diagnostics in the text listing
+//
+// Exit code contract (asserted by ctest):
+//   0  every selected check ran clean
+//   1  at least one error (or, with --werror, warning) fired
+//   2  usage error / unknown design / unknown check
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/io.hpp"
+#include "lint/lint.hpp"
+#include "tools/builtin_designs.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+struct CliOptions {
+  std::string file;
+  std::string design;
+  std::vector<std::string> roots;
+  int opt = 0;
+  std::vector<std::string> checks;
+  std::string json;
+  bool werror = false;
+  bool quiet = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mrsc_lint [FILE.crn | --design NAME|all] [--opt 0|1]\n"
+               "       [--roots A,B] [--checks a,b] [--json PATH|-]\n"
+               "       [--werror] [--quiet]\n"
+               "       designs: %s\n",
+               tools::builtin_design_names());
+  std::fprintf(stderr, "       checks:");
+  for (const std::string& name : lint::check_names()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] != '-') {
+      if (!options.file.empty()) {
+        std::fprintf(stderr, "mrsc_lint: more than one input file\n");
+        return false;
+      }
+      options.file = arg;
+      continue;
+    }
+    if (std::strcmp(arg, "--werror") == 0) {
+      options.werror = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--quiet") == 0) {
+      options.quiet = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_lint: %s needs a value\n", arg);
+      return false;
+    }
+    const char* value = argv[++i];
+    if (std::strcmp(arg, "--design") == 0) {
+      options.design = value;
+    } else if (std::strcmp(arg, "--opt") == 0) {
+      if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
+        std::fprintf(stderr, "mrsc_lint: --opt must be 0 or 1\n");
+        return false;
+      }
+      options.opt = value[0] - '0';
+    } else if (std::strcmp(arg, "--checks") == 0) {
+      options.checks = split_commas(value);
+    } else if (std::strcmp(arg, "--roots") == 0) {
+      options.roots = split_commas(value);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = value;
+    } else {
+      std::fprintf(stderr, "mrsc_lint: unknown option %s\n", arg);
+      return false;
+    }
+  }
+  if (options.file.empty() == options.design.empty()) {
+    std::fprintf(stderr,
+                 "mrsc_lint: give exactly one of FILE.crn or --design\n");
+    return false;
+  }
+  return true;
+}
+
+lint::LintReport lint_file(const CliOptions& cli) {
+  const core::ReactionNetwork network = core::load_network(cli.file);
+  lint::LintInput input;
+  input.network = &network;
+  input.design = cli.file;
+  for (const std::string& name : cli.roots) {
+    const auto id = network.find_species(name);
+    if (!id) {
+      throw std::invalid_argument("--roots: no species named '" + name + "'");
+    }
+    input.roots.emplace_back(*id, compile::PortRole::kInput);
+  }
+  lint::LintOptions lint_options;
+  lint_options.checks = cli.checks;
+  return lint::run_lint(input, lint_options);
+}
+
+lint::LintReport lint_one(const std::string& design_name,
+                          const CliOptions& cli) {
+  compile::CompileOptions compile_options;
+  compile_options.opt =
+      cli.opt == 0 ? compile::OptLevel::kO0 : compile::OptLevel::kO1;
+  const tools::BuiltDesign design =
+      tools::build_design(design_name, compile_options);
+
+  lint::LintInput input =
+      lint::LintInput::from_design(*design.network, design.info, design_name);
+  input.composition = design.composition.get();
+
+  lint::LintOptions lint_options;
+  lint_options.checks = cli.checks;
+  return lint::run_lint(input, lint_options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (!cli.file.empty()) {
+      const lint::LintReport report = lint_file(cli);
+      std::printf("%s", report.to_text(!cli.quiet).c_str());
+      if (!cli.json.empty()) {
+        if (cli.json == "-") {
+          std::printf("%s", report.to_json().c_str());
+        } else {
+          std::ofstream out(cli.json);
+          if (!out) {
+            std::fprintf(stderr, "mrsc_lint: cannot write %s\n",
+                         cli.json.c_str());
+            return 2;
+          }
+          out << report.to_json();
+        }
+      }
+      return report.clean(cli.werror) ? 0 : 1;
+    }
+
+    std::vector<std::string> designs;
+    if (cli.design == "all") {
+      designs = split_commas(tools::builtin_design_names());
+      for (std::string& name : designs) {
+        while (!name.empty() && name.front() == ' ') name.erase(0, 1);
+      }
+    } else {
+      designs.push_back(cli.design);
+    }
+
+    std::string json_out;
+    if (designs.size() > 1) json_out += "[\n";
+    bool dirty = false;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      const lint::LintReport report = lint_one(designs[i], cli);
+      std::printf("%s", report.to_text(!cli.quiet).c_str());
+      if (i + 1 < designs.size()) std::printf("\n");
+      if (!report.clean(cli.werror)) dirty = true;
+      if (!cli.json.empty()) {
+        if (i > 0) json_out += ",\n";
+        json_out += report.to_json();
+      }
+    }
+    if (designs.size() > 1) json_out += "]\n";
+
+    if (!cli.json.empty()) {
+      if (cli.json == "-") {
+        std::printf("%s", json_out.c_str());
+      } else {
+        std::ofstream out(cli.json);
+        if (!out) {
+          std::fprintf(stderr, "mrsc_lint: cannot write %s\n",
+                       cli.json.c_str());
+          return 2;
+        }
+        out << json_out;
+      }
+    }
+    return dirty ? 1 : 0;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "mrsc_lint: %s\n", error.what());
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_lint: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,139 @@
+#include "util/rational.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mrsc::util {
+
+namespace {
+
+std::int64_t checked_narrow(__int128 value, const char* what) {
+  if (value > static_cast<__int128>(INT64_MAX) ||
+      value < static_cast<__int128>(INT64_MIN)) {
+    throw std::overflow_error(std::string("rational arithmetic overflow in ") +
+                              what);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::int64_t mul(std::int64_t a, std::int64_t b, const char* what) {
+  return checked_narrow(static_cast<__int128>(a) * b, what);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t n, std::int64_t d) : num(n), den(d) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den < 0) {
+    num = checked_narrow(-static_cast<__int128>(num), "negate");
+    den = checked_narrow(-static_cast<__int128>(den), "negate");
+  }
+  const std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  const __int128 n = static_cast<__int128>(a.num) * b.den +
+                     static_cast<__int128>(b.num) * a.den;
+  return Rational(checked_narrow(n, "add"), mul(a.den, b.den, "add"));
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  const __int128 n = static_cast<__int128>(a.num) * b.den -
+                     static_cast<__int128>(b.num) * a.den;
+  return Rational(checked_narrow(n, "sub"), mul(a.den, b.den, "sub"));
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational(mul(a.num, b.num, "mul"), mul(a.den, b.den, "mul"));
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.num == 0) throw std::invalid_argument("Rational: division by zero");
+  return Rational(mul(a.num, b.den, "div"), mul(a.den, b.num, "div"));
+}
+
+std::vector<std::vector<std::int64_t>> integer_left_nullspace(
+    const Matrix& a) {
+  const std::size_t species = a.rows();
+  const std::size_t reactions = a.cols();
+
+  // Work on A^T (reactions x species): its null space is the left null
+  // space of A. Gauss-Jordan to reduced row-echelon form over rationals.
+  std::vector<std::vector<Rational>> m(reactions,
+                                       std::vector<Rational>(species));
+  for (std::size_t r = 0; r < reactions; ++r) {
+    for (std::size_t s = 0; s < species; ++s) {
+      const double value = a(s, r);
+      const double rounded = std::round(value);
+      if (std::abs(value - rounded) > 1e-9) {
+        throw std::invalid_argument(
+            "integer_left_nullspace: non-integer matrix entry");
+      }
+      m[r][s] = Rational::of(static_cast<std::int64_t>(rounded));
+    }
+  }
+
+  std::vector<std::size_t> pivot_col;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < species && row < reactions; ++col) {
+    std::size_t pivot = row;
+    while (pivot < reactions && m[pivot][col].is_zero()) ++pivot;
+    if (pivot == reactions) continue;
+    std::swap(m[row], m[pivot]);
+    const Rational inv = Rational::of(1) / m[row][col];
+    for (std::size_t s = col; s < species; ++s) m[row][s] = m[row][s] * inv;
+    for (std::size_t r = 0; r < reactions; ++r) {
+      if (r == row || m[r][col].is_zero()) continue;
+      const Rational factor = m[r][col];
+      for (std::size_t s = col; s < species; ++s) {
+        m[r][s] = m[r][s] - factor * m[row][s];
+      }
+    }
+    pivot_col.push_back(col);
+    ++row;
+  }
+
+  std::vector<bool> is_pivot(species, false);
+  for (const std::size_t col : pivot_col) is_pivot[col] = true;
+
+  std::vector<std::vector<std::int64_t>> basis;
+  for (std::size_t free = 0; free < species; ++free) {
+    if (is_pivot[free]) continue;
+    // Null vector with 1 in the free column, back-substituted pivots.
+    std::vector<Rational> w(species);
+    w[free] = Rational::of(1);
+    for (std::size_t p = 0; p < pivot_col.size(); ++p) {
+      w[pivot_col[p]] = Rational::of(0) - m[p][free];
+    }
+    // Scale to the smallest integer vector with positive leading entry.
+    std::int64_t lcm = 1;
+    for (const Rational& x : w) {
+      if (!x.is_zero()) lcm = mul(lcm / std::gcd(lcm, x.den), x.den, "lcm");
+    }
+    std::vector<std::int64_t> iw(species, 0);
+    std::int64_t g = 0;
+    for (std::size_t s = 0; s < species; ++s) {
+      iw[s] = mul(w[s].num, lcm / w[s].den, "scale");
+      g = std::gcd(g, iw[s] < 0 ? -iw[s] : iw[s]);
+    }
+    if (g > 1) {
+      for (std::int64_t& x : iw) x /= g;
+    }
+    for (const std::int64_t x : iw) {
+      if (x == 0) continue;
+      if (x < 0) {
+        for (std::int64_t& y : iw) y = -y;
+      }
+      break;
+    }
+    basis.push_back(std::move(iw));
+  }
+  return basis;
+}
+
+}  // namespace mrsc::util

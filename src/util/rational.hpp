@@ -1,0 +1,46 @@
+// Exact rational linear algebra for integer matrices.
+//
+// Conservation analysis wants *proofs*, not tolerances: a weight vector w
+// with w^T S = 0 holds exactly or it does not. Stoichiometric matrices have
+// small integer entries, so Gauss-Jordan elimination over int64 rationals is
+// both exact and cheap; every intermediate product is overflow-checked and
+// the caller falls back to floating point on the (pathological) overflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace mrsc::util {
+
+/// An exact rational with canonical form: den > 0, gcd(|num|, den) == 1.
+/// Arithmetic throws `std::overflow_error` when a product or sum leaves the
+/// int64 range (detected via 128-bit intermediates, never UB).
+struct Rational {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  Rational() = default;
+  Rational(std::int64_t n, std::int64_t d);
+  static Rational of(std::int64_t n) { return Rational(n, 1); }
+
+  [[nodiscard]] bool is_zero() const { return num == 0; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+  friend bool operator==(const Rational& a, const Rational& b) = default;
+};
+
+/// Exact basis of the left null space { w : w^T A = 0 } of an integer
+/// matrix (entries of `a` must be integral up to 1e-9, or
+/// `std::invalid_argument` is thrown — stoichiometric matrices always are).
+/// Each basis vector is scaled to the smallest integer vector with positive
+/// leading entry, so results are reproducible and human-readable. Throws
+/// `std::overflow_error` if the elimination leaves int64 range.
+[[nodiscard]] std::vector<std::vector<std::int64_t>> integer_left_nullspace(
+    const Matrix& a);
+
+}  // namespace mrsc::util

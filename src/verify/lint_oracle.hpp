@@ -1,0 +1,32 @@
+// Static-vs-dynamic cross-oracle.
+//
+// The static analyzer (lint/) and the dynamic oracles (oracles.hpp) claim
+// the same territory from opposite sides: one proves structural properties
+// of the network, the other observes trajectories. This oracle holds them
+// to each other on every clocked generated case:
+//
+//   clean leg    the generated design — which the dynamic oracles certify
+//                elsewhere in check_case — must lint without errors. A lint
+//                error on a dynamically clean design is a static false
+//                positive, and a finding here.
+//   fault leg    a copy corrupted with the canonical stoichiometry fault
+//                (first product of a catalytic reaction duplicated, the
+//                same defect stress::with_stoichiometry_fault models) must
+//                be flagged by the analyzer with LINT-RACE-02 — *before*
+//                any simulation. A silent pass is a static false negative.
+//
+// Raw random networks are exempt: they legitimately contain autocatalytic
+// shapes (A -> 2A) that the analyzer rightly rejects for compiled designs.
+#pragma once
+
+#include <vector>
+
+#include "verify/generator.hpp"
+#include "verify/oracles.hpp"
+
+namespace mrsc::verify {
+
+/// Violations use oracle name "lint_cross". Returns empty for raw cases.
+[[nodiscard]] std::vector<Violation> check_lint_cross(const GeneratedCase& c);
+
+}  // namespace mrsc::verify

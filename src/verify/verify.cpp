@@ -14,6 +14,7 @@
 #include "runtime/ensemble.hpp"
 #include "sim/ode.hpp"
 #include "sync/dual_rail.hpp"
+#include "verify/lint_oracle.hpp"
 #include "util/rng.hpp"
 
 namespace mrsc::verify {
@@ -378,18 +379,29 @@ std::vector<Violation> check_trajectory_invariants(
 std::vector<Violation> check_case(const GeneratedCase& c,
                                   const VerifyOptions& options) {
   try {
+    std::vector<Violation> out;
     switch (c.kind) {
       case CaseKind::kRawNetwork:
-        return check_raw(std::get<RawCase>(c.payload), c.seed, options);
+        out = check_raw(std::get<RawCase>(c.payload), c.seed, options);
+        break;
       case CaseKind::kSyncCircuit:
-        return check_sync(std::get<SyncCase>(c.payload), c.seed, options);
+        out = check_sync(std::get<SyncCase>(c.payload), c.seed, options);
+        break;
       case CaseKind::kDualRailCircuit:
-        return check_dual(std::get<DualRailCase>(c.payload), c.seed, options);
+        out = check_dual(std::get<DualRailCase>(c.payload), c.seed, options);
+        break;
       case CaseKind::kFsm:
-        return check_fsm(std::get<FsmCase>(c.payload), options);
+        out = check_fsm(std::get<FsmCase>(c.payload), options);
+        break;
       case CaseKind::kCounter:
-        return check_counter(std::get<CounterCase>(c.payload), options);
+        out = check_counter(std::get<CounterCase>(c.payload), options);
+        break;
     }
+    if (options.lint_cross) {
+      const std::vector<Violation> lint_violations = check_lint_cross(c);
+      out.insert(out.end(), lint_violations.begin(), lint_violations.end());
+    }
+    return out;
   } catch (const std::exception& e) {
     // A healthy case must simulate; a throw is itself a finding. Fall back
     // to the harness-free invariant pass so a broken clock is still
@@ -405,8 +417,13 @@ std::vector<Violation> check_case(const GeneratedCase& c,
 std::optional<ShrinkResult> shrink_case(const GeneratedCase& c,
                                         const std::string& oracle,
                                         const VerifyOptions& options) {
+  // The lint cross-oracle is structural: there is no trajectory predicate
+  // to replay while shrinking, and the fault site selection depends on the
+  // original reaction numbering.
+  if (oracle == "lint_cross") return std::nullopt;
   VerifyOptions replay = options;
   replay.shrink = false;
+  replay.lint_cross = false;
   replay.robustness = oracle == "rate_robustness";
   replay.differential = !is_invariant_oracle(oracle);
   replay.opt_equivalence = oracle == "opt_equivalence";

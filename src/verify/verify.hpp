@@ -49,6 +49,11 @@ struct VerifyOptions {
   /// Re-run clocked circuits under an alternative k_fast/k_slow ratio on a
   /// subset of seeds (every 4th) and require the same logical output.
   bool robustness = true;
+  /// Hold the static analyzer (lint/) and the dynamic oracles to each
+  /// other on every clocked case: the clean design must lint error-free,
+  /// and a stoichiometry-faulted copy must be flagged statically (see
+  /// lint_oracle.hpp).
+  bool lint_cross = true;
   /// Shrink failing cases to minimal repros.
   bool shrink = true;
   ShrinkOptions shrink_options;
