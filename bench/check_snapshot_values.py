@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare the numeric values of a regenerated bench JSON against a
+committed snapshot (bench/snapshots/).
+
+check_snapshot_schema.py guards the report *shape*; this guards the
+*numbers*. Every numeric leaf shared by both reports must agree within a
+relative tolerance (default 35% — wide enough for machine-to-machine timing
+noise, tight enough to flag a 2x regression). Values near zero fall back to
+an absolute epsilon so 0-vs-0.0001 noise does not divide by zero.
+
+This is an *advisory* gate: CI runs it with continue-on-error so a noisy
+runner cannot block a merge, but a real regression shows up red in the log.
+Known-volatile paths (seeds, uptimes, per-run identifiers) are excluded
+with --ignore PREFIX.
+
+usage: check_snapshot_values.py SNAPSHOT.json FRESH.json
+           [--tolerance FRAC] [--abs-epsilon X] [--ignore PREFIX]...
+exit:  0 all shared numeric leaves within tolerance
+       1 at least one drifted (or a numeric leaf disappeared)
+       2 usage/IO error
+"""
+import json
+import re
+import sys
+
+
+def numeric_leaves(node, prefix=""):
+    """Flatten to {path: value} for every numeric leaf. List elements are
+    indexed so values align positionally between snapshot and fresh run."""
+    leaves = {}
+    if isinstance(node, bool):
+        return leaves  # bools are ints in Python; schema check owns them
+    if isinstance(node, (int, float)):
+        leaves[prefix] = float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            leaves.update(numeric_leaves(item, f"{prefix}[{index}]"))
+    return leaves
+
+
+def main(argv):
+    paths = []
+    ignore = []
+    tolerance = 0.35
+    abs_epsilon = 1e-9
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--ignore":
+            if i + 1 >= len(argv):
+                sys.stderr.write(__doc__)
+                return 2
+            ignore.append(argv[i + 1])
+            i += 2
+        elif argv[i] == "--tolerance":
+            if i + 1 >= len(argv):
+                sys.stderr.write(__doc__)
+                return 2
+            tolerance = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--abs-epsilon":
+            if i + 1 >= len(argv):
+                sys.stderr.write(__doc__)
+                return 2
+            abs_epsilon = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+
+    def kept(path):
+        # Ignore prefixes are written index-free ("sweeps[].trials[].seed"),
+        # matching the schema checker's notation; collapse indices first.
+        plain = re.sub(r"\[\d+\]", "[]", path)
+        return not any(plain == p or plain.startswith(p + ".") or
+                       plain.startswith(p + "[") for p in ignore)
+
+    try:
+        with open(paths[0]) as f:
+            snapshot = numeric_leaves(json.load(f))
+        with open(paths[1]) as f:
+            fresh = numeric_leaves(json.load(f))
+    except (OSError, ValueError) as error:
+        sys.stderr.write(f"check_snapshot_values: {error}\n")
+        return 2
+
+    drifted = []
+    missing = []
+    for path, expected in sorted(snapshot.items()):
+        if not kept(path):
+            continue
+        if path not in fresh:
+            missing.append(path)
+            continue
+        actual = fresh[path]
+        scale = max(abs(expected), abs_epsilon)
+        if abs(actual - expected) / scale > tolerance:
+            drifted.append((path, expected, actual))
+
+    for path, expected, actual in drifted:
+        rel = abs(actual - expected) / max(abs(expected), abs_epsilon)
+        print(f"DRIFT  {path}: snapshot {expected:g} -> fresh {actual:g} "
+              f"({rel * 100:.0f}% > {tolerance * 100:.0f}%)")
+    for path in missing:
+        print(f"MISSING  {path}: numeric in snapshot, absent in fresh run")
+
+    compared = sum(1 for p in snapshot if kept(p) and p in fresh)
+    if drifted or missing:
+        print(f"check_snapshot_values: {len(drifted)} drifted, "
+              f"{len(missing)} missing of {compared} compared "
+              f"({paths[0]} vs {paths[1]})")
+        return 1
+    print(f"check_snapshot_values: {compared} numeric leaves within "
+          f"{tolerance * 100:.0f}% ({paths[0]} vs {paths[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,19 +1,65 @@
 #!/usr/bin/env bash
-# Full verification run: build, test, and regenerate every experiment.
-# Produces test_output.txt and bench_output.txt at the repository root.
+# Full verification run: build, test, exercise every CLI, and regenerate
+# every experiment. Produces test_output.txt and bench_output.txt at the
+# repository root. Exits non-zero if any stage fails.
 set -u
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+FAILURES=0
+note_failure() {
+  FAILURES=$((FAILURES + 1))
+  echo "FAILED: $1" | tee -a test_output.txt
+}
+
+# Respect an already-configured build dir (its generator is sticky);
+# default fresh configures to Ninja.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build || exit 1
+else
+  cmake -B build -G Ninja || exit 1
+fi
+cmake --build build || exit 1
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+[ "${PIPESTATUS[0]}" -eq 0 ] || note_failure "ctest"
+
+# Every CLI end to end, the same way CI drives them.
+echo "########## CLI smoke ##########" | tee -a test_output.txt
+./build/src/tools/mrsc_compile --design moving_average --json compile_ma.json \
+  >> test_output.txt 2>&1 || note_failure "mrsc_compile"
+./build/src/tools/mrsc_lint --design all --werror \
+  >> test_output.txt 2>&1 || note_failure "mrsc_lint"
+./build/src/tools/mrsc_verify --seeds 50 --threads 2 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_verify"
+./build/src/tools/mrsc_stress --design counter --fault rate-jitter \
+  --intensities 0.05,0.1 --trials 2 --threads 2 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_stress"
+./build/src/tools/mrsc_sim examples/data/oscillator.crn --t-end 30 \
+  --method nrm --omega 200 --species clk_G \
+  >> test_output.txt 2>&1 || note_failure "mrsc_sim"
+./build/src/tools/mrsc_batch examples/data/oscillator.crn --t-end 5 \
+  --replicates 8 --jobs 2 --omega 100 --species clk_G \
+  >> test_output.txt 2>&1 || note_failure "mrsc_batch"
+
+# The service round trip: server on an ephemeral port, open-loop load-gen,
+# SIGTERM shutdown, cache-hit assertion (tests/serve_roundtrip.sh).
+echo "########## serve round trip ##########" | tee -a test_output.txt
+bash tests/serve_roundtrip.sh \
+  ./build/src/tools/mrsc_serve ./build/src/tools/mrsc_loadgen \
+  >> test_output.txt 2>&1 || note_failure "serve round trip"
 
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
     "$b" 2>&1 | tee -a bench_output.txt
+    [ "${PIPESTATUS[0]}" -eq 0 ] || note_failure "$(basename "$b")"
     echo | tee -a bench_output.txt
   fi
 done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "run_all: $FAILURES stage(s) failed"
+  exit 1
+fi
+echo "run_all: all stages passed"

@@ -34,6 +34,16 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+std::size_t ThreadPool::queued() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

@@ -45,13 +45,21 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  /// Introspection hooks for admission control and stats endpoints (serve/).
+  /// `queued()` counts tasks submitted but not yet picked up by a worker;
+  /// `active()` counts tasks currently executing. Both take the queue lock,
+  /// so they are exact snapshots, not races — cheap enough for a stats poll,
+  /// not meant for per-event hot paths.
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t active() const;
+
   /// Hardware concurrency, clamped to at least 1.
   [[nodiscard]] static std::size_t default_worker_count();
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,79 @@
+// Keyed result cache for the simulation service.
+//
+// The composed-design workflows the service exists for (lint + re-simulate
+// after every composition tweak) resubmit byte-identical requests
+// constantly; a deterministic job is a pure function of its canonical key
+// (dispatcher.hpp), so the response bytes can be replayed verbatim. The
+// cache is a plain LRU over canonical-key -> response-payload with hit /
+// miss / eviction counters for the stats endpoint. Bounded by entry count
+// *and* total payload bytes — a burst of huge trajectory-bearing responses
+// must not grow the server without bound.
+//
+// Thread safety: all methods lock; get() refreshes recency. Determinism:
+// the cache can only ever substitute bytes that an identical cold run
+// produced, so hit-vs-miss is invisible to clients (asserted in
+// tests/test_serve.cpp).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mrsc::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_entries = 0;
+  std::size_t capacity_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  /// capacity_entries == 0 disables caching entirely (every get is a miss,
+  /// every put a no-op) — used by --cache 0 for A/B runs.
+  ResultCache(std::size_t capacity_entries, std::size_t capacity_bytes)
+      : capacity_entries_(capacity_entries),
+        capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the cached response and counts a hit; counts a miss otherwise.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Inserts/refreshes, then evicts LRU entries until both bounds hold.
+  /// A value larger than capacity_bytes is simply not cached.
+  void put(const std::string& key, const std::string& value);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void evict_locked();
+
+  const std::size_t capacity_entries_;
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mrsc::serve

@@ -1,0 +1,184 @@
+#include "serve/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mrsc::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("bad IPv4 address '" + host + "'");
+  }
+  return address;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_on(const std::string& host, std::uint16_t port,
+                 std::uint16_t& bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int yes = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+  sockaddr_in address = make_address(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&address),
+             sizeof address) != 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), 128) != 0) throw_errno("listen");
+  socklen_t length = sizeof address;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    throw_errno("getsockname");
+  }
+  bound_port = ntohs(address.sin_port);
+  return sock;
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int yes = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+  sockaddr_in address = make_address(host, port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  return sock;
+}
+
+Socket accept_on(int listener_fd) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int yes = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("frame too large (" +
+                             std::to_string(payload.size()) + " bytes)");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  std::string frame(reinterpret_cast<char*>(header), 4);
+  frame += payload;
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+/// Reads exactly `count` bytes. Returns false on EOF before the first byte
+/// when `eof_ok`; throws on mid-read EOF or errors.
+bool read_exact(int fd, char* buffer, std::size_t count, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < count) {
+    const ssize_t n = ::recv(fd, buffer + got, count - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  char header[4];
+  if (!read_exact(fd, header, 4, /*eof_ok=*/true)) return false;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (length > kMaxFrameBytes) {
+    throw std::runtime_error("oversized frame (" + std::to_string(length) +
+                             " bytes)");
+  }
+  payload.resize(length);
+  if (length != 0) read_exact(fd, payload.data(), length, /*eof_ok=*/false);
+  return true;
+}
+
+std::string Client::request_raw(const std::string& payload) {
+  write_frame(socket_.fd(), payload);
+  std::string response;
+  if (!read_frame(socket_.fd(), response)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return response;
+}
+
+json::Value Client::request(const std::string& payload) {
+  return json::parse(request_raw(payload));
+}
+
+}  // namespace mrsc::serve

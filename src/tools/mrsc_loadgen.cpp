@@ -1,0 +1,382 @@
+// mrsc_loadgen — open-loop load generator for mrsc_serve.
+//
+//   mrsc_loadgen --port P [options]
+//
+// Drives the service at a *fixed request rate* from a replayable corpus
+// built out of the builtin designs, nighthawk-style: request i has the
+// fixed scheduled start time `i / rate`, regardless of how fast the server
+// answers, and its latency is measured from that scheduled start — so
+// server-side queueing delay is part of the number instead of the
+// closed-loop coordinated-omission blind spot. Concurrency is bounded by
+// the connection count; when every connection is busy past a request's
+// scheduled start, the wait shows up as latency, which is exactly what an
+// overloaded open-loop client should report.
+//
+//   --host A           server address              (default 127.0.0.1)
+//   --port P           server port                 (required)
+//   --rate R           requests per second         (default 50)
+//   --duration S       run length, seconds         (default 2)
+//   --connections C    parallel connections        (default 4)
+//   --designs A,B,C    corpus designs              (default counter,
+//                      moving_average,delay)
+//   --kinds A,B        corpus job kinds: sim|lint  (default sim,lint)
+//   --seed S           sim seed (fixed per request so replays hit the
+//                      cache; default 1)
+//   --t-end T          sim horizon                 (default 3)
+//   --omega W          sim volume scale            (default 200)
+//   --json PATH        write the report ( - = stdout)
+//
+// The corpus is cycled in order, so any run longer than one cycle
+// resubmits byte-identical requests and must produce server cache hits;
+// the final report embeds the server's stats payload for exactly that
+// kind of assertion.
+//
+// Exit codes:
+//   0  every request answered ok
+//   1  any overload rejection, error response, or transport failure
+//   2  bad CLI usage
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dispatcher.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace mrsc;
+using Clock = std::chrono::steady_clock;
+
+struct CliOptions {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  double rate = 50.0;
+  double duration = 2.0;
+  std::size_t connections = 4;
+  std::vector<std::string> designs = {"counter", "moving_average", "delay"};
+  std::vector<std::string> kinds = {"sim", "lint"};
+  std::uint64_t seed = 1;
+  double t_end = 3.0;
+  double omega = 200.0;
+  std::string json;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrsc_loadgen --port P [--host A] [--rate R] [--duration S]\n"
+      "       [--connections C] [--designs A,B,C] [--kinds sim,lint]\n"
+      "       [--seed S] [--t-end T] [--omega W] [--json PATH]\n");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_double(const char* flag, const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_loadgen: %s: '%s' is not a number\n", flag,
+                 text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::strlen(text)) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrsc_loadgen: %s: '%s' is not a whole number\n",
+                 flag, text);
+    return false;
+  }
+  return true;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mrsc_loadgen: %s needs a value\n", arg);
+      return false;
+    }
+    const char* value = argv[++i];
+    std::uint64_t number = 0;
+    if (std::strcmp(arg, "--host") == 0) {
+      options.host = value;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!parse_u64(arg, value, number) || number == 0 || number > 65535) {
+        std::fprintf(stderr, "mrsc_loadgen: --port must be 1..65535\n");
+        return false;
+      }
+      options.port = static_cast<int>(number);
+    } else if (std::strcmp(arg, "--rate") == 0) {
+      if (!parse_double(arg, value, options.rate)) return false;
+    } else if (std::strcmp(arg, "--duration") == 0) {
+      if (!parse_double(arg, value, options.duration)) return false;
+    } else if (std::strcmp(arg, "--connections") == 0) {
+      if (!parse_u64(arg, value, number) || number == 0) return false;
+      options.connections = static_cast<std::size_t>(number);
+    } else if (std::strcmp(arg, "--designs") == 0) {
+      options.designs = split_commas(value);
+    } else if (std::strcmp(arg, "--kinds") == 0) {
+      options.kinds = split_commas(value);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!parse_u64(arg, value, options.seed)) return false;
+    } else if (std::strcmp(arg, "--t-end") == 0) {
+      if (!parse_double(arg, value, options.t_end)) return false;
+    } else if (std::strcmp(arg, "--omega") == 0) {
+      if (!parse_double(arg, value, options.omega)) return false;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = value;
+    } else {
+      std::fprintf(stderr, "mrsc_loadgen: unknown option %s\n", arg);
+      usage();
+      return false;
+    }
+  }
+  if (options.port < 0) {
+    usage();
+    return false;
+  }
+  if (!(options.rate > 0.0) || !(options.duration > 0.0) ||
+      !(options.t_end > 0.0) || options.omega < 1.0) {
+    std::fprintf(stderr,
+                 "mrsc_loadgen: --rate, --duration, --t-end must be > 0 and "
+                 "--omega >= 1\n");
+    return false;
+  }
+  if (options.designs.empty() || options.kinds.empty()) {
+    std::fprintf(stderr,
+                 "mrsc_loadgen: --designs and --kinds must be non-empty\n");
+    return false;
+  }
+  for (const std::string& kind : options.kinds) {
+    if (kind != "sim" && kind != "lint") {
+      std::fprintf(stderr,
+                   "mrsc_loadgen: --kinds must be drawn from sim,lint\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The replayable request corpus: designs x kinds, fixed seeds/options, so
+/// cycle 2 onward replays byte-identical requests.
+std::vector<std::string> build_corpus(const CliOptions& options) {
+  std::vector<std::string> corpus;
+  for (const std::string& design : options.designs) {
+    for (const std::string& kind : options.kinds) {
+      std::string request = "{\"op\":\"job\",\"kind\":\"" + kind + "\"";
+      request += ",\"design\":" + serve::json::quote(design);
+      if (kind == "sim") {
+        request += ",\"method\":\"nrm\"";
+        request += ",\"seed\":" + std::to_string(options.seed);
+        request +=
+            ",\"t_end\":" + serve::json::number_to_string(options.t_end);
+        request +=
+            ",\"omega\":" + serve::json::number_to_string(options.omega);
+      } else {
+        request += ",\"opt\":1";
+      }
+      request += '}';
+      corpus.push_back(std::move(request));
+    }
+  }
+  return corpus;
+}
+
+struct Tally {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overload = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, cli)) return 2;
+
+  const std::vector<std::string> corpus = build_corpus(cli);
+  const auto total_requests = static_cast<std::uint64_t>(
+      std::floor(cli.rate * cli.duration));
+  if (total_requests == 0) {
+    std::fprintf(stderr,
+                 "mrsc_loadgen: rate x duration yields zero requests\n");
+    return 2;
+  }
+
+  std::atomic<std::uint64_t> next_index{0};
+  std::mutex tally_mutex;
+  Tally tally;
+  const Clock::time_point start = Clock::now();
+
+  auto worker = [&] {
+    serve::json::Value parsed;
+    Tally local;
+    try {
+      serve::Client client(cli.host, static_cast<std::uint16_t>(cli.port));
+      while (true) {
+        const std::uint64_t i = next_index.fetch_add(1);
+        if (i >= total_requests) break;
+        // Open-loop pacing: request i is *due* at start + i/rate no matter
+        // what; a late pickup is measured, not skipped.
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / cli.rate));
+        std::this_thread::sleep_until(scheduled);
+        const std::string& request = corpus[i % corpus.size()];
+        ++local.sent;
+        const std::string response = client.request_raw(request);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      scheduled)
+                .count();
+        local.latencies_ms.push_back(latency_ms);
+        parsed = serve::json::parse(response);
+        const std::string status = parsed.get_string("status", "");
+        if (status == "ok") {
+          ++local.ok;
+        } else if (status == "rejected") {
+          ++local.overload;
+        } else {
+          ++local.errors;
+        }
+      }
+    } catch (const std::exception& error) {
+      // Transport/parse failure: this connection is done; count one error
+      // (the request that died) and surface the reason once.
+      ++local.errors;
+      std::fprintf(stderr, "mrsc_loadgen: connection failed: %s\n",
+                   error.what());
+    }
+    std::lock_guard lock(tally_mutex);
+    tally.sent += local.sent;
+    tally.ok += local.ok;
+    tally.overload += local.overload;
+    tally.errors += local.errors;
+    tally.latencies_ms.insert(tally.latencies_ms.end(),
+                              local.latencies_ms.begin(),
+                              local.latencies_ms.end());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cli.connections);
+  for (std::size_t c = 0; c < cli.connections; ++c) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Pull the server's stats payload so the report carries queue depth,
+  // cache hit/miss counters, and server-side latency histograms.
+  std::string server_stats = "null";
+  try {
+    serve::Client client(cli.host, static_cast<std::uint16_t>(cli.port));
+    server_stats = client.request_raw(R"({"op":"stats"})");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrsc_loadgen: stats fetch failed: %s\n",
+                 error.what());
+  }
+
+  std::vector<double>& lat = tally.latencies_ms;
+  std::sort(lat.begin(), lat.end());
+  const double mean =
+      lat.empty() ? 0.0
+                  : std::accumulate(lat.begin(), lat.end(), 0.0) /
+                        static_cast<double>(lat.size());
+  const double p50 = percentile(lat, 0.50);
+  const double p90 = percentile(lat, 0.90);
+  const double p99 = percentile(lat, 0.99);
+  const double achieved =
+      wall > 0.0 ? static_cast<double>(tally.sent) / wall : 0.0;
+
+  std::printf(
+      "loadgen: %llu requests over %.2fs (target %.1f rps, achieved %.1f "
+      "rps) on %zu connection(s)\n"
+      "         %llu ok, %llu overload-rejected, %llu errors\n"
+      "         latency p50 %.3fms p90 %.3fms p99 %.3fms mean %.3fms "
+      "(open-loop, from scheduled start)\n",
+      static_cast<unsigned long long>(tally.sent), wall, cli.rate, achieved,
+      cli.connections, static_cast<unsigned long long>(tally.ok),
+      static_cast<unsigned long long>(tally.overload),
+      static_cast<unsigned long long>(tally.errors), p50, p90, p99, mean);
+
+  if (!cli.json.empty()) {
+    using serve::json::number_to_string;
+    std::string json = "{\n";
+    json += "  \"rate_target\": " + number_to_string(cli.rate) + ",\n";
+    json += "  \"rate_achieved\": " + number_to_string(achieved) + ",\n";
+    json += "  \"duration_seconds\": " + number_to_string(wall) + ",\n";
+    json += "  \"connections\": " + std::to_string(cli.connections) + ",\n";
+    json += "  \"corpus_size\": " + std::to_string(corpus.size()) + ",\n";
+    json += "  \"requests\": " + std::to_string(tally.sent) + ",\n";
+    json += "  \"ok\": " + std::to_string(tally.ok) + ",\n";
+    json += "  \"overload\": " + std::to_string(tally.overload) + ",\n";
+    json += "  \"errors\": " + std::to_string(tally.errors) + ",\n";
+    json += "  \"latency_ms\": {";
+    json += "\"p50\": " + number_to_string(p50);
+    json += ", \"p90\": " + number_to_string(p90);
+    json += ", \"p99\": " + number_to_string(p99);
+    json += ", \"mean\": " + number_to_string(mean);
+    json += ", \"max\": " + number_to_string(lat.empty() ? 0.0 : lat.back());
+    json += "},\n";
+    json += "  \"server\": " + server_stats + "\n";
+    json += "}\n";
+    if (cli.json == "-") {
+      std::printf("%s", json.c_str());
+    } else {
+      std::ofstream out(cli.json);
+      if (!out) {
+        std::fprintf(stderr, "mrsc_loadgen: cannot write %s\n",
+                     cli.json.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("report written to %s\n", cli.json.c_str());
+    }
+  }
+
+  return tally.errors == 0 && tally.overload == 0 && tally.sent > 0 ? 0 : 1;
+}
