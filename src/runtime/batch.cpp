@@ -80,8 +80,13 @@ JobResult BatchRunner::execute(const SimJob& job) const {
       ode.abort = abort_hook;
       std::vector<double> initial =
           job.initial.empty() ? job.network->initial_state() : job.initial;
+      const bool use_shared =
+          job.compiled != nullptr &&
+          ode.engine.kind == sim::EngineKind::kCompiled;
       sim::OdeResult run =
-          sim::simulate_ode(*job.network, ode, std::move(initial));
+          use_shared
+              ? sim::simulate_ode(*job.compiled, ode, std::move(initial))
+              : sim::simulate_ode(*job.network, ode, std::move(initial));
       aborted = run.aborted;
       result.end_time = run.end_time;
       result.ode_steps = run.steps_accepted;
@@ -93,7 +98,18 @@ JobResult BatchRunner::execute(const SimJob& job) const {
     } else {
       sim::SsaOptions ssa = job.ssa;
       ssa.abort = abort_hook;
-      sim::SsaResult run = sim::simulate_ssa(*job.network, ssa, job.initial);
+      const bool use_shared =
+          job.compiled != nullptr &&
+          ssa.engine.kind == sim::EngineKind::kCompiled;
+      sim::SsaResult run;
+      if (use_shared) {
+        std::vector<double> initial =
+            job.initial.empty() ? job.network->initial_state() : job.initial;
+        run = sim::simulate_ssa(*job.compiled, ssa,
+                                sim::to_counts(initial, ssa.omega));
+      } else {
+        run = sim::simulate_ssa(*job.network, ssa, job.initial);
+      }
       aborted = run.aborted;
       result.end_time = run.end_time;
       result.ssa_events = run.events;

@@ -42,6 +42,12 @@ struct SimJob {
   /// Non-owning; must outlive the `BatchRunner::run` call. Jobs may share a
   /// network — the steppers compile and mutate only private state.
   const core::ReactionNetwork* network = nullptr;
+  /// Optional pre-compiled engine form of `network`, shared read-only across
+  /// jobs so an ensemble compiles its design once instead of per replicate.
+  /// Non-owning; must outlive the run and must have been compiled from
+  /// `network`. Honored only when the job's options select the compiled
+  /// engine; the fallback/retry path ignores it (each rung recompiles).
+  const sim::CompiledSystem* compiled = nullptr;
   SimKind kind = SimKind::kSsa;
   sim::OdeOptions ode;  ///< used when kind == kOde
   sim::SsaOptions ssa;  ///< used when kind == kSsa (including its seed)

@@ -1,0 +1,72 @@
+// Monotonic arena for per-run simulator temporaries.
+//
+// The integrator and SSA hot loops need a handful of scratch arrays (RK
+// stage derivatives, per-reaction scaled rates) whose sizes are known at run
+// start. Allocating them individually per run scatters them across the heap;
+// the arena carves them out of one block so a run's working set is
+// contiguous and a reset costs nothing. Allocation is bump-pointer only —
+// there is no per-span free — and restricted to trivially-destructible types.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mrsc::sim {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 4096)
+      : block_bytes_(initial_bytes < kMinBlock ? kMinBlock : initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a value-initialized span of `count` elements of `T`, aligned for
+  /// `T`. The span stays valid for the arena's lifetime (spans are never
+  /// individually freed, and blocks are never reallocated).
+  template <class T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena only holds trivially-destructible types");
+    if (count == 0) return {};
+    const std::size_t bytes = count * sizeof(T);
+    void* p = raw_alloc(bytes, alignof(T));
+    T* typed = static_cast<T*>(p);
+    for (std::size_t i = 0; i < count; ++i) new (typed + i) T();
+    return {typed, count};
+  }
+
+  /// Total bytes handed out (diagnostics only).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 256;
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || offset + bytes > blocks_.back().size()) {
+      std::size_t need = bytes + align;
+      while (block_bytes_ < need) block_bytes_ *= 2;
+      blocks_.emplace_back(block_bytes_);
+      block_bytes_ *= 2;  // grow geometrically so many small runs stay cheap
+      cursor_ = 0;
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    std::byte* base = blocks_.back().data();
+    cursor_ = offset + bytes;
+    allocated_ += bytes;
+    // data() of a vector<byte> is suitably aligned for max_align_t; offset
+    // keeps the requested alignment because block starts are max-aligned.
+    return base + offset;
+  }
+
+  std::vector<std::vector<std::byte>> blocks_;
+  std::size_t block_bytes_;
+  std::size_t cursor_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace mrsc::sim

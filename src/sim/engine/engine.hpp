@@ -1,0 +1,41 @@
+// Engine selection for the simulation core.
+//
+// Every simulator entry point that takes a `ReactionNetwork` dispatches on
+// `EngineOptions::kind`:
+//  * kLegacy   — the original `MassActionSystem` evaluation paths (vector-of-
+//                pairs reaction storage, propensity scale factor recomputed
+//                per call). Kept as the differential-testing reference.
+//  * kCompiled — the CSR/structure-of-arrays `CompiledSystem` engine
+//                (src/sim/engine/), with per-shape specialized kernels and
+//                hoisted propensity scale factors. Bitwise-identical to the
+//                legacy engine by construction; `test_engine.cpp` and the
+//                `engine_equivalence` fuzz oracle enforce that contract.
+//
+// The default is kCompiled: the equivalence suite proves it drop-in safe, so
+// all CLIs and the batch runtime get the fast path without opting in.
+#pragma once
+
+#include <cstdint>
+
+namespace mrsc::sim {
+
+enum class EngineKind : std::uint8_t {
+  kLegacy,
+  kCompiled,
+};
+
+struct EngineOptions {
+  EngineKind kind = EngineKind::kCompiled;
+};
+
+[[nodiscard]] constexpr const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kLegacy:
+      return "legacy";
+    case EngineKind::kCompiled:
+      return "compiled";
+  }
+  return "unknown";
+}
+
+}  // namespace mrsc::sim

@@ -46,6 +46,13 @@ MassActionSystem::MassActionSystem(const core::ReactionNetwork& network)
     for (const auto& [idx, stoich] : compiled.reactants) {
       species_dependents_[idx].push_back(static_cast<std::uint32_t>(j));
     }
+    bool own = false;
+    for (const auto& [idx, delta] : compiled.net_changes) {
+      for (const auto& [r_idx, r_stoich] : compiled.reactants) {
+        if (r_idx == idx) own = true;
+      }
+    }
+    affects_own_.push_back(own ? 1 : 0);
     reactions_.push_back(std::move(compiled));
   }
 

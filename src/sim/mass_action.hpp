@@ -76,9 +76,18 @@ class MassActionSystem {
     return reaction_dependents_[j];
   }
 
+  /// True when firing j changes the count of at least one of j's own
+  /// reactants; false means j's propensity is invariant under its own firing
+  /// (pure catalysis), so the next-reaction method may reuse the stored value
+  /// instead of recomputing it.
+  [[nodiscard]] bool affects_own_reactants(std::size_t j) const {
+    return affects_own_[j] != 0;
+  }
+
  private:
   std::size_t species_count_ = 0;
   std::vector<CompiledReaction> reactions_;
+  std::vector<std::uint8_t> affects_own_;
   std::vector<std::vector<std::uint32_t>> species_dependents_;
   std::vector<std::vector<std::uint32_t>> reaction_dependents_;
 };

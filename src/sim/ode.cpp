@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/engine/arena.hpp"
 #include "util/matrix.hpp"
 
 namespace mrsc::sim {
@@ -83,14 +84,25 @@ class RunContext {
   bool aborted_ = false;
 };
 
-OdeResult run_rk4(const MassActionSystem& system, const OdeOptions& options,
+// The integrators are templated over the system so the legacy
+// (MassActionSystem) and compiled (CompiledSystem) engines share one stepper;
+// both provide bitwise-identical rhs/jacobian, so the integrators produce
+// bitwise-identical trajectories under either engine. Stage temporaries come
+// from a per-run arena so a run's scratch arrays sit in one contiguous block.
+
+template <class System>
+OdeResult run_rk4(const System& system, const OdeOptions& options,
                   std::vector<double> x, std::span<Observer* const> observers) {
   const std::size_t n = system.species_count();
   OdeResult result;
   RunContext ctx(options, n, observers);
   ctx.record_initial(0.0, x);
 
-  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n), x_new(n);
+  Arena arena;
+  std::span<double> k1 = arena.alloc<double>(n), k2 = arena.alloc<double>(n),
+                    k3 = arena.alloc<double>(n), k4 = arena.alloc<double>(n),
+                    tmp = arena.alloc<double>(n);
+  std::vector<double> x_new(n);
   double t = 0.0;
   while (t < options.t_end && result.steps_accepted < options.max_steps) {
     const double h = std::min(options.dt, options.t_end - t);
@@ -139,7 +151,8 @@ constexpr double kE1 = kB1 - 5179.0 / 57600.0, kE3 = kB3 - 7571.0 / 16695.0,
                  kE4 = kB4 - 393.0 / 640.0, kE5 = kB5 + 92097.0 / 339200.0,
                  kE6 = kB6 - 187.0 / 2100.0, kE7 = -1.0 / 40.0;
 
-OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
+template <class System>
+OdeResult run_dp45(const System& system, const OdeOptions& options,
                    std::vector<double> x,
                    std::span<Observer* const> observers) {
   const std::size_t n = system.species_count();
@@ -147,8 +160,12 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
   RunContext ctx(options, n, observers);
   ctx.record_initial(0.0, x);
 
-  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
-  std::vector<double> tmp(n), x_new(n);
+  Arena arena;
+  std::span<double> k1 = arena.alloc<double>(n), k2 = arena.alloc<double>(n),
+                    k3 = arena.alloc<double>(n), k4 = arena.alloc<double>(n),
+                    k5 = arena.alloc<double>(n), k6 = arena.alloc<double>(n),
+                    k7 = arena.alloc<double>(n), tmp = arena.alloc<double>(n);
+  std::vector<double> x_new(n);
   double t = 0.0;
   double h = std::min(options.dt, options.t_end);
 
@@ -228,8 +245,9 @@ OdeResult run_dp45(const MassActionSystem& system, const OdeOptions& options,
   return result;
 }
 
-OdeResult run_backward_euler(const MassActionSystem& system,
-                             const OdeOptions& options, std::vector<double> x,
+template <class System>
+OdeResult run_backward_euler(const System& system, const OdeOptions& options,
+                             std::vector<double> x,
                              std::span<Observer* const> observers) {
   const std::size_t n = system.species_count();
   OdeResult result;
@@ -293,19 +311,10 @@ OdeResult run_backward_euler(const MassActionSystem& system,
   return result;
 }
 
-}  // namespace
-
-OdeResult simulate_ode(const core::ReactionNetwork& network,
-                       const OdeOptions& options, std::vector<double> initial,
-                       std::span<Observer* const> observers) {
-  if (initial.empty()) initial = network.initial_state();
-  const MassActionSystem system(network);
-  return simulate_ode(system, options, std::move(initial), observers);
-}
-
-OdeResult simulate_ode(const MassActionSystem& system,
-                       const OdeOptions& options, std::vector<double> initial,
-                       std::span<Observer* const> observers) {
+template <class System>
+OdeResult dispatch_method(const System& system, const OdeOptions& options,
+                          std::vector<double> initial,
+                          std::span<Observer* const> observers) {
   if (initial.size() != system.species_count()) {
     throw std::invalid_argument("simulate_ode: initial state size mismatch");
   }
@@ -322,6 +331,32 @@ OdeResult simulate_ode(const MassActionSystem& system,
                                 observers);
   }
   throw std::logic_error("simulate_ode: unknown method");
+}
+
+}  // namespace
+
+OdeResult simulate_ode(const core::ReactionNetwork& network,
+                       const OdeOptions& options, std::vector<double> initial,
+                       std::span<Observer* const> observers) {
+  if (initial.empty()) initial = network.initial_state();
+  if (options.engine.kind == EngineKind::kCompiled) {
+    const CompiledSystem system(network);
+    return simulate_ode(system, options, std::move(initial), observers);
+  }
+  const MassActionSystem system(network);
+  return simulate_ode(system, options, std::move(initial), observers);
+}
+
+OdeResult simulate_ode(const MassActionSystem& system,
+                       const OdeOptions& options, std::vector<double> initial,
+                       std::span<Observer* const> observers) {
+  return dispatch_method(system, options, std::move(initial), observers);
+}
+
+OdeResult simulate_ode(const CompiledSystem& system, const OdeOptions& options,
+                       std::vector<double> initial,
+                       std::span<Observer* const> observers) {
+  return dispatch_method(system, options, std::move(initial), observers);
 }
 
 }  // namespace mrsc::sim

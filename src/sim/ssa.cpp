@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/engine/arena.hpp"
 #include "util/rng.hpp"
 
 namespace mrsc::sim {
@@ -135,12 +136,102 @@ class SsaRecorder {
   double next_sample_ = 0.0;
 };
 
-SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
+// The three steppers below are templated over an evaluator so the legacy
+// (MassActionSystem) and compiled (CompiledSystem) engines share one stepper
+// implementation. Both evaluators perform identical floating-point operation
+// sequences; the engines differ only in data layout and in where the
+// propensity scale factor k * omega^(1-order) is computed (per call vs hoisted
+// per run), neither of which can change a bit of the result.
+
+/// Legacy evaluator: forwards to MassActionSystem, recomputing the propensity
+/// scale factor on every call exactly as the original code did.
+class LegacyEval {
+ public:
+  LegacyEval(const MassActionSystem& system, double omega)
+      : system_(system), omega_(omega) {}
+
+  [[nodiscard]] std::size_t reaction_count() const {
+    return system_.reaction_count();
+  }
+  [[nodiscard]] std::size_t species_count() const {
+    return system_.species_count();
+  }
+  [[nodiscard]] double propensity(std::size_t j,
+                                  std::span<const std::int64_t> n) const {
+    return system_.propensity(j, n, omega_);
+  }
+  void apply(std::size_t j, std::span<std::int64_t> n) const {
+    system_.apply(j, n);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> affected(std::size_t j) const {
+    return system_.affected_reactions(j);
+  }
+  [[nodiscard]] bool affects_own_reactants(std::size_t j) const {
+    return system_.affects_own_reactants(j);
+  }
+  template <class F>
+  void for_each_reactant(std::size_t j, F&& f) const {
+    for (const auto& [idx, stoich] : system_.compiled_reaction(j).reactants) {
+      f(idx, stoich);
+    }
+  }
+
+ private:
+  const MassActionSystem& system_;
+  double omega_;
+};
+
+/// Compiled evaluator: CSR tables plus per-run hoisted scale factors carved
+/// from the run arena. The referenced CompiledSystem is strictly read-only,
+/// so one instance is safely shared across concurrent replicates.
+class CompiledEval {
+ public:
+  CompiledEval(const CompiledSystem& system, double omega, Arena& arena)
+      : system_(system),
+        scaled_(arena.alloc<double>(system.reaction_count())) {
+    system_.scaled_rates(omega, scaled_);
+  }
+
+  [[nodiscard]] std::size_t reaction_count() const {
+    return system_.reaction_count();
+  }
+  [[nodiscard]] std::size_t species_count() const {
+    return system_.species_count();
+  }
+  [[nodiscard]] double propensity(std::size_t j,
+                                  std::span<const std::int64_t> n) const {
+    return system_.propensity_scaled(j, n, scaled_[j]);
+  }
+  void apply(std::size_t j, std::span<std::int64_t> n) const {
+    system_.apply(j, n);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> affected(std::size_t j) const {
+    return system_.affected_reactions(j);
+  }
+  [[nodiscard]] bool affects_own_reactants(std::size_t j) const {
+    return system_.affects_own_reactants(j);
+  }
+  template <class F>
+  void for_each_reactant(std::size_t j, F&& f) const {
+    const auto species = system_.reactant_species(j);
+    const auto stoich = system_.reactant_stoich(j);
+    for (std::size_t k = 0; k < species.size(); ++k) {
+      f(species[k], stoich[k]);
+    }
+  }
+
+ private:
+  const CompiledSystem& system_;
+  std::span<double> scaled_;
+};
+
+template <class Eval>
+SsaResult run_direct(const Eval& eval, const SsaOptions& options,
                      std::vector<std::int64_t> counts) {
   util::Rng rng(options.seed);
-  const std::size_t m = system.reaction_count();
+  const std::size_t m = eval.reaction_count();
   SsaResult result;
-  SsaRecorder recorder(options, system.species_count());
+  SsaRecorder recorder(options, eval.species_count());
   recorder.record_initial(counts);
 
   std::vector<double> propensities(m);
@@ -152,7 +243,7 @@ SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
     }
     double total = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
-      propensities[j] = system.propensity(j, counts, options.omega);
+      propensities[j] = eval.propensity(j, counts);
       total += propensities[j];
     }
     if (total <= 0.0) {
@@ -176,7 +267,7 @@ SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
       }
     }
     recorder.before_event(t_next, counts);
-    system.apply(chosen, counts);
+    eval.apply(chosen, counts);
     t = t_next;
     ++result.events;
   }
@@ -189,19 +280,19 @@ SsaResult run_direct(const MassActionSystem& system, const SsaOptions& options,
   return result;
 }
 
-SsaResult run_next_reaction(const MassActionSystem& system,
-                            const SsaOptions& options,
+template <class Eval>
+SsaResult run_next_reaction(const Eval& eval, const SsaOptions& options,
                             std::vector<std::int64_t> counts) {
   util::Rng rng(options.seed);
-  const std::size_t m = system.reaction_count();
+  const std::size_t m = eval.reaction_count();
   SsaResult result;
-  SsaRecorder recorder(options, system.species_count());
+  SsaRecorder recorder(options, eval.species_count());
   recorder.record_initial(counts);
 
   std::vector<double> propensities(m);
   std::vector<double> firing_times(m);
   for (std::size_t j = 0; j < m; ++j) {
-    propensities[j] = system.propensity(j, counts, options.omega);
+    propensities[j] = eval.propensity(j, counts);
     firing_times[j] = propensities[j] > 0.0
                           ? rng.exponential(propensities[j])
                           : kInfinity;
@@ -225,13 +316,21 @@ SsaResult run_next_reaction(const MassActionSystem& system,
       break;
     }
     recorder.before_event(t_next, counts);
-    system.apply(fired, counts);
+    eval.apply(fired, counts);
     t = t_next;
     ++result.events;
 
     // Update every dependent reaction's propensity and firing time.
-    for (std::uint32_t dep : system.affected_reactions(fired)) {
-      const double a_new = system.propensity(dep, counts, options.omega);
+    for (std::uint32_t dep : eval.affected(fired)) {
+      double a_new;
+      if (dep == fired && !eval.affects_own_reactants(fired)) {
+        // Pure catalysis: firing left fired's own reactant counts untouched,
+        // so its propensity is exactly the stored value — skip the recompute.
+        // (It still needs a fresh exponential draw below.)
+        a_new = propensities[fired];
+      } else {
+        a_new = eval.propensity(dep, counts);
+      }
       double new_time;
       if (dep == fired) {
         new_time = a_new > 0.0 ? t + rng.exponential(a_new) : kInfinity;
@@ -261,13 +360,13 @@ SsaResult run_next_reaction(const MassActionSystem& system,
   return result;
 }
 
-SsaResult run_tau_leaping(const MassActionSystem& system,
-                          const SsaOptions& options,
+template <class Eval>
+SsaResult run_tau_leaping(const Eval& eval, const SsaOptions& options,
                           std::vector<std::int64_t> counts) {
   util::Rng rng(options.seed);
-  const std::size_t m = system.reaction_count();
+  const std::size_t m = eval.reaction_count();
   SsaResult result;
-  SsaRecorder recorder(options, system.species_count());
+  SsaRecorder recorder(options, eval.species_count());
   recorder.record_initial(counts);
 
   double t = 0.0;
@@ -281,7 +380,7 @@ SsaResult run_tau_leaping(const MassActionSystem& system,
     bool any_active = false;
     std::uint64_t fired_this_leap = 0;
     for (std::size_t j = 0; j < m; ++j) {
-      const double a = system.propensity(j, counts, options.omega);
+      const double a = eval.propensity(j, counts);
       if (a <= 0.0) continue;
       any_active = true;
       std::uint64_t firings = rng.poisson(a * tau);
@@ -289,14 +388,13 @@ SsaResult run_tau_leaping(const MassActionSystem& system,
       // would drive counts negative, and naive clamping *mints* molecules —
       // a fast reversible pair (e.g. the feedback dimers 2G <-> I) then
       // amplifies the surplus into a runaway.
-      for (const auto& [idx, stoich] :
-           system.compiled_reaction(j).reactants) {
+      eval.for_each_reactant(j, [&](std::uint32_t idx, std::uint32_t stoich) {
         const std::uint64_t cap =
             static_cast<std::uint64_t>(counts[idx] / stoich);
         firings = std::min(firings, cap);
-      }
+      });
       for (std::uint64_t f = 0; f < firings; ++f) {
-        system.apply(j, counts);
+        eval.apply(j, counts);
       }
       fired_this_leap += firings;
     }
@@ -315,6 +413,35 @@ SsaResult run_tau_leaping(const MassActionSystem& system,
   result.trajectory = recorder.take();
   result.final_counts = std::move(counts);
   return result;
+}
+
+void validate_options(std::size_t species_count, const SsaOptions& options,
+                      const std::vector<std::int64_t>& initial_counts) {
+  if (initial_counts.size() != species_count) {
+    throw std::invalid_argument("simulate_ssa: initial counts size mismatch");
+  }
+  if (options.t_end <= 0.0 || options.omega <= 0.0 ||
+      options.record_interval <= 0.0) {
+    throw std::invalid_argument(
+        "simulate_ssa: t_end, omega, record_interval must be positive");
+  }
+  if (options.method == SsaMethod::kTauLeaping && options.tau <= 0.0) {
+    throw std::invalid_argument("simulate_ssa: tau must be positive");
+  }
+}
+
+template <class Eval>
+SsaResult dispatch_method(const Eval& eval, const SsaOptions& options,
+                          std::vector<std::int64_t> counts) {
+  switch (options.method) {
+    case SsaMethod::kDirect:
+      return run_direct(eval, options, std::move(counts));
+    case SsaMethod::kNextReaction:
+      return run_next_reaction(eval, options, std::move(counts));
+    case SsaMethod::kTauLeaping:
+      return run_tau_leaping(eval, options, std::move(counts));
+  }
+  throw std::logic_error("simulate_ssa: unknown method");
 }
 
 }  // namespace
@@ -336,6 +463,11 @@ SsaResult simulate_ssa(const core::ReactionNetwork& network,
   if (initial_concentrations.empty()) {
     initial_concentrations = network.initial_state();
   }
+  if (options.engine.kind == EngineKind::kCompiled) {
+    const CompiledSystem system(network);
+    return simulate_ssa(system, options,
+                        to_counts(initial_concentrations, options.omega));
+  }
   const MassActionSystem system(network);
   return simulate_ssa(system, options,
                       to_counts(initial_concentrations, options.omega));
@@ -344,26 +476,17 @@ SsaResult simulate_ssa(const core::ReactionNetwork& network,
 SsaResult simulate_ssa(const MassActionSystem& system,
                        const SsaOptions& options,
                        std::vector<std::int64_t> initial_counts) {
-  if (initial_counts.size() != system.species_count()) {
-    throw std::invalid_argument("simulate_ssa: initial counts size mismatch");
-  }
-  if (options.t_end <= 0.0 || options.omega <= 0.0 ||
-      options.record_interval <= 0.0) {
-    throw std::invalid_argument(
-        "simulate_ssa: t_end, omega, record_interval must be positive");
-  }
-  switch (options.method) {
-    case SsaMethod::kDirect:
-      return run_direct(system, options, std::move(initial_counts));
-    case SsaMethod::kNextReaction:
-      return run_next_reaction(system, options, std::move(initial_counts));
-    case SsaMethod::kTauLeaping:
-      if (options.tau <= 0.0) {
-        throw std::invalid_argument("simulate_ssa: tau must be positive");
-      }
-      return run_tau_leaping(system, options, std::move(initial_counts));
-  }
-  throw std::logic_error("simulate_ssa: unknown method");
+  validate_options(system.species_count(), options, initial_counts);
+  const LegacyEval eval(system, options.omega);
+  return dispatch_method(eval, options, std::move(initial_counts));
+}
+
+SsaResult simulate_ssa(const CompiledSystem& system, const SsaOptions& options,
+                       std::vector<std::int64_t> initial_counts) {
+  validate_options(system.species_count(), options, initial_counts);
+  Arena arena;
+  const CompiledEval eval(system, options.omega, arena);
+  return dispatch_method(eval, options, std::move(initial_counts));
 }
 
 }  // namespace mrsc::sim

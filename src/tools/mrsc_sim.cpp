@@ -11,6 +11,9 @@
 //   --tau T            leap length for tau-leaping     (default 0.01)
 //   --max-events N     event cap, stochastic methods; hitting it is an
 //                      error that names the method and seed
+//   --engine E         compiled | legacy               (default compiled)
+//                      both engines are bitwise-identical; legacy is the
+//                      differential-testing reference path
 //   --species A,B,C    which species to report         (default all)
 //   --csv PATH         write the trajectory as CSV
 //   --plot             render an ASCII waveform of the reported species
@@ -54,6 +57,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   double tau = 0.01;
   std::uint64_t max_events = 0;  // 0 keeps the SsaOptions default
+  std::string engine = "compiled";
   std::vector<std::string> species;
   std::string csv;
   bool plot = false;
@@ -67,8 +71,9 @@ void usage() {
                "dp45|rk4|be|ssa|nrm|tau]\n"
                "       [--dt H] [--record DT] [--omega W] [--seed S] "
                "[--tau T]\n"
-               "       [--max-events N] [--species A,B,C] [--csv PATH] "
-               "[--plot] [--laws] [--opt]\n");
+               "       [--max-events N] [--engine compiled|legacy] "
+               "[--species A,B,C] [--csv PATH]\n"
+               "       [--plot] [--laws] [--opt]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -150,6 +155,10 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
         std::fprintf(stderr, "mrsc_sim: --max-events must be >= 1\n");
         return false;
       }
+    } else if (std::strcmp(arg, "--engine") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.engine = v;
     } else if (std::strcmp(arg, "--species") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
@@ -202,6 +211,13 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   if (options.record < 0.0) {
     std::fprintf(stderr, "mrsc_sim: --record must be >= 0 (got %g)\n",
                  options.record);
+    return false;
+  }
+  if (options.engine != "compiled" && options.engine != "legacy") {
+    std::fprintf(stderr,
+                 "mrsc_sim: --engine must be 'compiled' or 'legacy' "
+                 "(got '%s')\n",
+                 options.engine.c_str());
     return false;
   }
   return true;
@@ -280,12 +296,16 @@ int main(int argc, char** argv) {
             ? cli.record
             : std::max(cli.t_end / 200.0,
                        std::numeric_limits<double>::min());
+    const sim::EngineKind engine_kind = cli.engine == "legacy"
+                                            ? sim::EngineKind::kLegacy
+                                            : sim::EngineKind::kCompiled;
     sim::Trajectory trajectory;
     if (cli.method == "dp45" || cli.method == "rk4" || cli.method == "be") {
       sim::OdeOptions options;
       options.t_end = cli.t_end;
       options.dt = cli.dt;
       options.record_interval = record;
+      options.engine.kind = engine_kind;
       options.method = cli.method == "rk4" ? sim::OdeMethod::kRk4Fixed
                        : cli.method == "be"
                            ? sim::OdeMethod::kBackwardEuler
@@ -304,6 +324,7 @@ int main(int argc, char** argv) {
       options.tau = cli.tau;
       if (cli.max_events > 0) options.max_events = cli.max_events;
       options.record_interval = record;
+      options.engine.kind = engine_kind;
       options.method = cli.method == "ssa" ? sim::SsaMethod::kDirect
                        : cli.method == "nrm"
                            ? sim::SsaMethod::kNextReaction

@@ -19,6 +19,7 @@
 //   --no-shrink        report failures unshrunk
 //   --no-differential  skip the SSA-ensemble oracles on raw cases
 //   --no-opt-equivalence  skip the kO1 compile-pipeline equivalence oracle
+//   --no-engine-equivalence  skip the legacy-vs-compiled engine oracle
 //   --json PATH        machine-readable failure report
 //   --regen-golden DIR recompute the golden traces into DIR and exit
 //   --verbose          print every case, not just failures
@@ -53,7 +54,7 @@ void usage() {
       "usage: mrsc_verify [--seeds N] [--start-seed S] [--kinds A,B,C]\n"
       "       [--cycles N] [--replicates R] [--omega W] [--threads N]\n"
       "       [--no-shrink] [--no-differential] [--no-opt-equivalence]\n"
-      "       [--json PATH]\n"
+      "       [--no-engine-equivalence] [--json PATH]\n"
       "       [--regen-golden DIR] [--verbose]\n"
       "       kinds: raw,sync,dual,fsm,counter\n");
 }
@@ -97,6 +98,7 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     const bool is_flag = std::strcmp(arg, "--no-shrink") == 0 ||
                          std::strcmp(arg, "--no-differential") == 0 ||
                          std::strcmp(arg, "--no-opt-equivalence") == 0 ||
+                         std::strcmp(arg, "--no-engine-equivalence") == 0 ||
                          std::strcmp(arg, "--verbose") == 0;
     const bool takes_value = !is_flag && arg[0] == '-' && arg[1] == '-';
     const char* value = nullptr;
@@ -129,6 +131,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.verify.differential = false;
     } else if (std::strcmp(arg, "--no-opt-equivalence") == 0) {
       options.verify.opt_equivalence = false;
+    } else if (std::strcmp(arg, "--no-engine-equivalence") == 0) {
+      options.verify.engine_equivalence = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else if (std::strcmp(arg, "--json") == 0) {

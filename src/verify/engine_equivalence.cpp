@@ -1,0 +1,175 @@
+#include "verify/engine_equivalence.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "sim/ode.hpp"
+#include "sim/ssa.hpp"
+
+namespace mrsc::verify {
+namespace {
+
+constexpr const char* kOracle = "engine_equivalence";
+
+std::string format(const char* fmt, auto... args) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer), fmt, args...);
+  return buffer;
+}
+
+/// Exact comparison of two trajectories: same sample times, same values,
+/// bit for bit (0.0 == -0.0 is acceptable equality here; the engines do not
+/// produce NaNs on the clamped state).
+bool trajectories_identical(const sim::Trajectory& a, const sim::Trajectory& b,
+                            std::string& detail) {
+  if (a.sample_count() != b.sample_count()) {
+    detail = format("sample counts differ: %zu vs %zu", a.sample_count(),
+                    b.sample_count());
+    return false;
+  }
+  for (std::size_t k = 0; k < a.sample_count(); ++k) {
+    if (a.time(k) != b.time(k)) {
+      detail = format("sample %zu time differs: %.17g vs %.17g", k, a.time(k),
+                      b.time(k));
+      return false;
+    }
+    const auto sa = a.state(k);
+    const auto sb = b.state(k);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i] != sb[i]) {
+        detail = format("sample %zu species %zu differs: %.17g vs %.17g", k,
+                        i, sa[i], sb[i]);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void check_ssa_leg(const core::ReactionNetwork& network,
+                   const EngineEquivalenceOptions& options,
+                   sim::SsaMethod method, const char* leg,
+                   std::vector<Violation>& out) {
+  sim::SsaOptions ssa;
+  ssa.t_end = options.t_end;
+  ssa.record_interval = options.record_interval;
+  ssa.omega = options.omega;
+  ssa.seed = options.seed;
+  ssa.max_events = options.max_events;
+  ssa.method = method;
+
+  ssa.engine.kind = sim::EngineKind::kLegacy;
+  const sim::SsaResult legacy = sim::simulate_ssa(network, ssa);
+  ssa.engine.kind = sim::EngineKind::kCompiled;
+  const sim::SsaResult compiled = sim::simulate_ssa(network, ssa);
+
+  if (legacy.events != compiled.events) {
+    out.push_back({kOracle, format("%s: event counts diverge: %llu vs %llu",
+                                   leg,
+                                   static_cast<unsigned long long>(
+                                       legacy.events),
+                                   static_cast<unsigned long long>(
+                                       compiled.events))});
+    return;
+  }
+  if (legacy.end_time != compiled.end_time) {
+    out.push_back({kOracle,
+                   format("%s: end times diverge: %.17g vs %.17g", leg,
+                          legacy.end_time, compiled.end_time)});
+    return;
+  }
+  if (legacy.final_counts != compiled.final_counts) {
+    out.push_back({kOracle, format("%s: final counts diverge", leg)});
+    return;
+  }
+  std::string detail;
+  if (!trajectories_identical(legacy.trajectory, compiled.trajectory,
+                              detail)) {
+    out.push_back({kOracle, format("%s: %s", leg, detail.c_str())});
+  }
+}
+
+void check_rk4_leg(const core::ReactionNetwork& network,
+                   const EngineEquivalenceOptions& options,
+                   std::vector<Violation>& out) {
+  sim::OdeOptions ode;
+  ode.method = sim::OdeMethod::kRk4Fixed;
+  ode.t_end = options.t_end;
+  ode.record_interval = options.record_interval;
+
+  ode.engine.kind = sim::EngineKind::kLegacy;
+  const sim::OdeResult legacy = sim::simulate_ode(network, ode);
+  ode.engine.kind = sim::EngineKind::kCompiled;
+  const sim::OdeResult compiled = sim::simulate_ode(network, ode);
+
+  if (legacy.steps_accepted != compiled.steps_accepted) {
+    out.push_back({kOracle,
+                   format("rk4: step counts diverge: %zu vs %zu",
+                          legacy.steps_accepted, compiled.steps_accepted)});
+    return;
+  }
+  std::string detail;
+  if (!trajectories_identical(legacy.trajectory, compiled.trajectory,
+                              detail)) {
+    out.push_back({kOracle, format("rk4: %s", detail.c_str())});
+  }
+}
+
+void check_adaptive_leg(const core::ReactionNetwork& network,
+                        const EngineEquivalenceOptions& options,
+                        std::vector<Violation>& out) {
+  sim::OdeOptions ode;
+  ode.method = sim::OdeMethod::kDormandPrince45;
+  ode.t_end = options.t_end;
+  ode.record_interval = options.record_interval;
+
+  ode.engine.kind = sim::EngineKind::kLegacy;
+  const sim::OdeResult legacy = sim::simulate_ode(network, ode);
+  ode.engine.kind = sim::EngineKind::kCompiled;
+  const sim::OdeResult compiled = sim::simulate_ode(network, ode);
+
+  if (legacy.trajectory.sample_count() != compiled.trajectory.sample_count()) {
+    out.push_back({kOracle,
+                   format("dp45: sample counts diverge: %zu vs %zu "
+                          "(step controllers disagreed)",
+                          legacy.trajectory.sample_count(),
+                          compiled.trajectory.sample_count())});
+    return;
+  }
+  double worst = 0.0;
+  double worst_t = 0.0;
+  for (std::size_t k = 0; k < legacy.trajectory.sample_count(); ++k) {
+    const auto sa = legacy.trajectory.state(k);
+    const auto sb = compiled.trajectory.state(k);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      const double gap = std::abs(sa[i] - sb[i]);
+      if (gap > worst) {
+        worst = gap;
+        worst_t = legacy.trajectory.time(k);
+      }
+    }
+  }
+  if (worst > options.adaptive_tol) {
+    out.push_back({kOracle,
+                   format("dp45: engines diverge by %.3e at t=%.3f "
+                          "(band %.1e)",
+                          worst, worst_t, options.adaptive_tol)});
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> check_engine_equivalence(
+    const core::ReactionNetwork& network,
+    const EngineEquivalenceOptions& options) {
+  std::vector<Violation> out;
+  check_ssa_leg(network, options, sim::SsaMethod::kDirect, "ssa-direct", out);
+  check_ssa_leg(network, options, sim::SsaMethod::kNextReaction, "ssa-nrm",
+                out);
+  check_rk4_leg(network, options, out);
+  if (options.adaptive) check_adaptive_leg(network, options, out);
+  return out;
+}
+
+}  // namespace mrsc::verify

@@ -1,0 +1,53 @@
+// Legacy-vs-compiled engine equivalence oracle.
+//
+// The compiled engine (src/sim/engine/) claims *bitwise* identity with the
+// legacy MassActionSystem paths — not statistical agreement, the same bits.
+// This oracle holds it to that claim on arbitrary networks:
+//
+//   1. SSA direct:        same seed, legacy vs compiled — trajectories,
+//                         event counts, and final counts must be identical.
+//   2. SSA next-reaction: same, through the dependency graph and the
+//                         stale-propensity skip.
+//   3. Fixed-step RK4:    trajectories identical sample-for-sample.
+//   4. Adaptive DP45:     tolerance-banded (the step controller makes this
+//                         leg nominally adaptive; in practice the band is
+//                         slack — the engines agree bitwise here too, and
+//                         the band exists to localize a future divergence
+//                         rather than to allow one).
+//
+// The fuzz driver applies it to every generated case alongside the
+// opt-equivalence oracle, making the engine contract a permanent fixture of
+// the campaign rather than a one-off migration test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.hpp"
+#include "verify/oracles.hpp"
+
+namespace mrsc::verify {
+
+struct EngineEquivalenceOptions {
+  /// Shared horizon and sampling grid for every leg.
+  double t_end = 2.0;
+  double record_interval = 0.05;
+  /// SSA volume scale and seed (both engines consume the identical stream).
+  double omega = 200.0;
+  std::uint64_t seed = 1;
+  /// Event cap so fuzzed open networks terminate; both engines hit the cap
+  /// on the same event, so capped runs still compare exactly.
+  std::uint64_t max_events = 200'000;
+  /// Run the adaptive DP45 leg.
+  bool adaptive = true;
+  /// Pointwise band for the adaptive leg (see header comment).
+  double adaptive_tol = 1e-9;
+};
+
+/// Runs every leg and returns each discrepancy as a violation with oracle
+/// "engine_equivalence"; empty means the engines agreed.
+[[nodiscard]] std::vector<Violation> check_engine_equivalence(
+    const core::ReactionNetwork& network,
+    const EngineEquivalenceOptions& options = {});
+
+}  // namespace mrsc::verify
