@@ -5,12 +5,14 @@
 // per clock cycle, and cycle-by-cycle comparison against the gate-level
 // golden-model netlist.
 #include <cstdio>
+#include <variant>
 #include <vector>
 
 #include "analysis/harness.hpp"
 #include "analysis/plot.hpp"
 #include "dsp/counter.hpp"
 #include "logic/netlist.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 using namespace mrsc;
@@ -37,10 +39,13 @@ int main() {
   std::printf("== F4: 3-bit dual-rail binary counter, 20 increments\n");
   std::printf("   (k_slow=1, k_fast=1000, clock stretch=4)\n\n");
 
-  core::ReactionNetwork net;
-  dsp::CounterSpec spec;
-  spec.bits = 3;
-  const dsp::CounterHandles handles = dsp::build_counter(net, spec);
+  scenario::ResolvedScenario resolved =
+      scenario::ScenarioRegistry::global().resolve("counter(3)");
+  core::ReactionNetwork& net = *resolved.design.network;
+  const auto& artifacts =
+      std::get<scenario::CounterArtifacts>(resolved.artifacts);
+  const dsp::CounterSpec& spec = artifacts.spec;
+  const dsp::CounterHandles& handles = artifacts.handles;
   constexpr std::size_t kIncrements = 20;
   analysis::ClockedRunOptions options;
   options.ode.t_end =
@@ -79,11 +84,14 @@ int main() {
   std::printf("== F4b: width scaling (increments = 2^bits + 4, wraps)\n\n");
   std::printf("%-7s %-12s %-12s\n", "bits", "mismatches", "species");
   for (const std::size_t bits : {1u, 2u, 3u, 4u}) {
-    core::ReactionNetwork wide_net;
-    dsp::CounterSpec wide_spec;
-    wide_spec.bits = bits;
-    const dsp::CounterHandles wide_handles =
-        dsp::build_counter(wide_net, wide_spec);
+    scenario::ResolvedScenario wide =
+        scenario::ScenarioRegistry::global().resolve(
+            "counter(" + std::to_string(bits) + ")");
+    core::ReactionNetwork& wide_net = *wide.design.network;
+    const auto& wide_artifacts =
+        std::get<scenario::CounterArtifacts>(wide.artifacts);
+    const dsp::CounterSpec& wide_spec = wide_artifacts.spec;
+    const dsp::CounterHandles& wide_handles = wide_artifacts.handles;
     const std::size_t increments = (std::size_t{1} << bits) + 4;
     analysis::ClockedRunOptions wide_options;
     wide_options.ode.t_end = analysis::suggest_t_end(

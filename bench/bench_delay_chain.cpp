@@ -6,11 +6,13 @@
 // alternation of transfer phases; the table quantifies stage peaks, arrival
 // time, and delivered fraction.
 #include <cstdio>
+#include <variant>
 #include <vector>
 
 #include "analysis/plot.hpp"
 #include "async/chain.hpp"
 #include "core/network.hpp"
+#include "scenario/registry.hpp"
 #include "sim/ode.hpp"
 
 namespace {
@@ -21,10 +23,11 @@ int main() {
   std::printf("== F2: two-delay-element self-timed chain (X = 1.0)\n");
   std::printf("   (k_slow=1, k_fast=1000; companion Fig. 1(c))\n\n");
 
-  core::ReactionNetwork net;
-  async::ChainSpec spec;
-  spec.elements = 2;
-  const async::ChainHandles chain = async::build_delay_chain(net, spec);
+  scenario::ResolvedScenario resolved =
+      scenario::ScenarioRegistry::global().resolve("delay_chain(2)");
+  core::ReactionNetwork& net = *resolved.design.network;
+  const async::ChainHandles& chain =
+      std::get<scenario::ChainArtifacts>(resolved.artifacts).handles;
   net.set_initial(chain.input, 1.0);
 
   sim::OdeOptions options;
@@ -68,11 +71,12 @@ int main() {
   std::printf("\n== F2b: chain length scaling\n\n");
   std::printf("%-10s %-14s %-14s\n", "elements", "delivered Y", "t_90%%");
   for (const std::size_t n : {1u, 2u, 3u, 4u, 6u}) {
-    core::ReactionNetwork long_net;
-    async::ChainSpec long_spec;
-    long_spec.elements = n;
-    const async::ChainHandles long_chain =
-        async::build_delay_chain(long_net, long_spec);
+    scenario::ResolvedScenario long_resolved =
+        scenario::ScenarioRegistry::global().resolve(
+            "delay_chain(" + std::to_string(n) + ")");
+    core::ReactionNetwork& long_net = *long_resolved.design.network;
+    const async::ChainHandles& long_chain =
+        std::get<scenario::ChainArtifacts>(long_resolved.artifacts).handles;
     long_net.set_initial(long_chain.input, 1.0);
     sim::OdeOptions long_options;
     long_options.t_end = 40.0 * static_cast<double>(n + 1);

@@ -7,10 +7,12 @@
 // reports the compilation size table (species/reactions vs |states| x
 // |alphabet|).
 #include <cstdio>
+#include <variant>
 #include <vector>
 
 #include "analysis/harness.hpp"
 #include "fsm/fsm.hpp"
+#include "scenario/registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -20,9 +22,13 @@ using namespace mrsc;
 int main() {
   std::printf("== F6: '101' sequence detector on a 16-bit stream\n\n");
   {
-    const fsm::FsmSpec spec = fsm::make_sequence_detector("101");
-    core::ReactionNetwork net;
-    const fsm::FsmHandles machine = fsm::build_fsm(net, spec);
+    scenario::ResolvedScenario resolved =
+        scenario::ScenarioRegistry::global().resolve("seqdet");
+    core::ReactionNetwork& net = *resolved.design.network;
+    const auto& artifacts =
+        std::get<scenario::FsmArtifacts>(resolved.artifacts);
+    const fsm::FsmSpec& spec = artifacts.spec;
+    const fsm::FsmHandles& machine = artifacts.handles;
     const std::vector<std::size_t> bits = {1, 0, 1, 0, 1, 1, 0, 1,
                                            1, 0, 1, 0, 0, 1, 0, 1};
     analysis::ClockedRunOptions options;
@@ -102,20 +108,12 @@ int main() {
   std::printf("%-20s %-10s %-12s\n", "states x inputs", "species",
               "reactions");
   for (const std::size_t states : {2u, 4u, 8u, 16u}) {
-    fsm::FsmSpec spec;
-    spec.num_states = states;
-    spec.num_inputs = 2;
-    spec.num_outputs = 1;
-    spec.next_state.assign(states, std::vector<std::size_t>(2, 0));
-    spec.output.assign(states,
-                       std::vector<std::size_t>(2, fsm::kNoOutput));
-    for (std::size_t s = 0; s < states; ++s) {
-      spec.next_state[s][0] = (s + 1) % states;
-      spec.next_state[s][1] = 0;
-    }
-    spec.prefix = "sz" + std::to_string(states);
-    core::ReactionNetwork net;
-    fsm::build_fsm(net, spec);
+    // The registry's fsm_wide(S) family: the same cyclic machine at any S,
+    // shared with the CLIs and the scale sweep.
+    const scenario::ResolvedScenario resolved =
+        scenario::ScenarioRegistry::global().resolve(
+            "fsm_wide(" + std::to_string(states) + ")");
+    const core::ReactionNetwork& net = *resolved.design.network;
     std::printf("%3zu x 2              %-10zu %-12zu\n", states,
                 net.species_count(), net.reaction_count());
   }

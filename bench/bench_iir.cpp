@@ -5,23 +5,29 @@
 // principle compound. The impulse and step responses below show they stay
 // bounded.
 #include <cstdio>
+#include <variant>
 #include <vector>
 
 #include "analysis/harness.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/plot.hpp"
 #include "dsp/filters.hpp"
+#include "scenario/registry.hpp"
 
 namespace {
 using namespace mrsc;
 
 void run_case(const char* title, const std::vector<double>& x) {
-  auto design = dsp::make_second_order_iir();
+  scenario::ResolvedScenario resolved =
+      scenario::ScenarioRegistry::global().resolve("iir");
+  core::ReactionNetwork& net = *resolved.design.network;
+  const sync::CompiledCircuit& circuit =
+      std::get<scenario::CircuitArtifacts>(resolved.artifacts).circuit;
   analysis::ClockedRunOptions options;
   options.ode.t_end =
-      analysis::suggest_t_end({}, design.network->rate_policy(), x.size());
-  const auto result = analysis::run_clocked_circuit(
-      *design.network, design.circuit, "x", x, "y", options);
+      analysis::suggest_t_end({}, net.rate_policy(), x.size());
+  const auto result =
+      analysis::run_clocked_circuit(net, circuit, "x", x, "y", options);
   const auto expected = dsp::reference_second_order_iir(x);
 
   std::printf("-- %s\n", title);

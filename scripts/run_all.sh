@@ -41,6 +41,32 @@ echo "########## CLI smoke ##########" | tee -a test_output.txt
   --replicates 8 --jobs 2 --omega 100 --species clk_G \
   >> test_output.txt 2>&1 || note_failure "mrsc_batch"
 
+# The --scenario path: every CLI resolves designs through the registry —
+# generator specs, fixed names, and file-based scenarios found by bare name
+# under ./scenarios/.
+echo "########## scenario smoke ##########" | tee -a test_output.txt
+catalog=$(./build/src/tools/mrsc_compile --list-scenarios \
+  | sed -n 's/^smoke catalog: //p')
+[ -n "$catalog" ] || note_failure "mrsc_compile --list-scenarios"
+for spec in $catalog; do
+  ./build/src/tools/mrsc_compile --scenario "$spec" \
+    >> test_output.txt 2>&1 || note_failure "mrsc_compile --scenario $spec"
+  ./build/src/tools/mrsc_lint --scenario "$spec" --quiet \
+    >> test_output.txt 2>&1 || note_failure "mrsc_lint --scenario $spec"
+  ./build/src/tools/mrsc_sim --scenario "$spec" --t-end 2 \
+    >> test_output.txt 2>&1 || note_failure "mrsc_sim --scenario $spec"
+done
+./build/src/tools/mrsc_verify --scenario "counter(2)" --seeds 1 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_verify --scenario"
+./build/src/tools/mrsc_batch --scenario "counter(2)" --t-end 2 \
+  --replicates 4 --omega 100 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_batch --scenario"
+./build/src/tools/mrsc_stress --scenario nightly_counter --trials 1 \
+  --intensities 0.05 --threads 2 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_stress --scenario"
+./build/src/tools/mrsc_sim --scenario nightly_counter --t-end 2 \
+  >> test_output.txt 2>&1 || note_failure "mrsc_sim --scenario (file)"
+
 # The service round trip: server on an ephemeral port, open-loop load-gen,
 # SIGTERM shutdown, cache-hit assertion (tests/serve_roundtrip.sh).
 echo "########## serve round trip ##########" | tee -a test_output.txt

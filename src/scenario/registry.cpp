@@ -1,0 +1,404 @@
+#include "scenario/registry.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/io.hpp"
+#include "dsp/filters.hpp"
+
+namespace mrsc::scenario {
+
+namespace {
+
+using compile::PortRole;
+using core::SpeciesId;
+
+// Generator argument ranges. The caps keep a mistyped spec from compiling a
+// million-species network at admission time (the serve dispatcher validates
+// through this registry); they are generous enough for every bench sweep.
+constexpr std::uint64_t kMaxCounterBits = 16;
+constexpr std::uint64_t kMaxChainElements = 64;
+constexpr std::uint64_t kMaxFsmStates = 64;
+constexpr std::uint64_t kMinCascadeLayers = 2;
+constexpr std::uint64_t kMaxCascadeLayers = 8;
+
+/// The cyclic "wide FSM" family: S states over a 2-symbol alphabet. Input 0
+/// advances the cycle, input 1 resets to state 0 and emits the only output
+/// symbol — every state is reachable and the output species is live.
+fsm::FsmSpec make_wide_fsm(std::size_t states) {
+  fsm::FsmSpec spec;
+  spec.num_states = states;
+  spec.num_inputs = 2;
+  spec.num_outputs = 1;
+  spec.next_state.assign(states, std::vector<std::size_t>(2, 0));
+  spec.output.assign(states,
+                     std::vector<std::size_t>(2, fsm::kNoOutput));
+  for (std::size_t s = 0; s < states; ++s) {
+    spec.next_state[s][0] = (s + 1) % states;
+    spec.next_state[s][1] = 0;
+    spec.output[s][1] = 0;
+  }
+  return spec;
+}
+
+BuiltDesign build_counter_design(std::size_t bits,
+                                 compile::CompileOptions options,
+                                 Artifacts& artifacts) {
+  BuiltDesign design;
+  options.design_info = &design.info;
+  design.owned = std::make_unique<core::ReactionNetwork>();
+  dsp::CounterSpec spec;
+  spec.bits = bits;
+  CounterArtifacts built;
+  built.spec = spec;
+  built.handles = dsp::build_counter(*design.owned, spec, options);
+  design.network = design.owned.get();
+  artifacts = std::move(built);
+  return design;
+}
+
+BuiltDesign build_fsm_design(const fsm::FsmSpec& spec,
+                             compile::CompileOptions options,
+                             Artifacts& artifacts) {
+  BuiltDesign design;
+  options.design_info = &design.info;
+  design.owned = std::make_unique<core::ReactionNetwork>();
+  FsmArtifacts built;
+  built.spec = spec;
+  built.handles = fsm::build_fsm(*design.owned, spec, options);
+  design.network = design.owned.get();
+  artifacts = std::move(built);
+  return design;
+}
+
+/// Runs a dsp factory with `design_info` wired to the result's own `info`
+/// member (the factory must finish before the result moves, which the call
+/// shape guarantees).
+template <typename Factory>
+BuiltDesign build_circuit_design(Factory&& factory,
+                                 compile::CompileOptions options,
+                                 Artifacts& artifacts) {
+  BuiltDesign design;
+  options.design_info = &design.info;
+  dsp::Design compiled = factory(options);
+  design.owned = std::move(compiled.network);
+  design.network = design.owned.get();
+  artifacts = CircuitArtifacts{std::move(compiled.circuit)};
+  return design;
+}
+
+/// The asynchronous delay chain is self-timed: it bypasses the clocked
+/// lowering pipeline entirely (no emission tags, no pass pipeline), so the
+/// port roster is declared here by hand and `options` is ignored.
+BuiltDesign build_chain_design(std::size_t elements, Artifacts& artifacts) {
+  BuiltDesign design;
+  design.owned = std::make_unique<core::ReactionNetwork>();
+  async::ChainSpec spec;
+  spec.elements = elements;
+  ChainArtifacts built;
+  built.spec = spec;
+  built.handles = async::build_delay_chain(*design.owned, spec);
+  design.network = design.owned.get();
+  design.info.roots.emplace_back(built.handles.input, PortRole::kInput);
+  design.info.roots.emplace_back(built.handles.output, PortRole::kOutput);
+  for (const SpeciesId id : built.handles.red) {
+    design.info.roots.emplace_back(id, PortRole::kState);
+  }
+  for (const SpeciesId id : built.handles.green) {
+    design.info.roots.emplace_back(id, PortRole::kState);
+  }
+  for (const SpeciesId id : built.handles.blue) {
+    design.info.roots.emplace_back(id, PortRole::kState);
+  }
+  // The global absence indicators pace the handshake the way clock phases
+  // pace a synchronous design.
+  design.info.roots.emplace_back(built.handles.ind_r, PortRole::kClock);
+  design.info.roots.emplace_back(built.handles.ind_g, PortRole::kClock);
+  design.info.roots.emplace_back(built.handles.ind_b, PortRole::kClock);
+  design.info.tags_valid = false;
+  artifacts = std::move(built);
+  return design;
+}
+
+/// L delay-line layers compiled separately, then composed: layer i's output
+/// port is wired into layer i+1's input port through a declared fast
+/// channel, and the last layer's output is the sampled terminal. L=2 with
+/// prefixes "A_"/"B_" is byte-identical to the original two-layer
+/// demonstrator.
+BuiltDesign build_cascade_design(std::size_t layers,
+                                 const compile::CompileOptions& options) {
+  compile::CompileOptions layer_options = options;
+  layer_options.design_info = nullptr;
+  layer_options.report = nullptr;
+  std::vector<dsp::Design> built;
+  built.reserve(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    built.push_back(dsp::make_delay_line(2, {}, layer_options));
+  }
+
+  BuiltDesign design;
+  design.owned = std::make_unique<core::ReactionNetwork>();
+  design.network = design.owned.get();
+  design.owned->set_rate_policy(built.front().network->rate_policy());
+
+  compile::CascadeComposer composer(*design.owned);
+  std::vector<std::vector<SpeciesId>> maps(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::string prefix(1, static_cast<char>('A' + i));
+    composer.add_layer(*built[i].network, prefix + "_", &maps[i]);
+  }
+  for (std::size_t i = 0; i + 1 < layers; ++i) {
+    composer.wire(maps[i][built[i].circuit.output("y").index()],
+                  maps[i + 1][built[i + 1].circuit.input("x").index()],
+                  "cascade.link");
+  }
+  composer.mark_terminal(
+      maps.back()[built.back().circuit.output("y").index()]);
+
+  for (std::size_t i = 0; i < layers; ++i) {
+    const dsp::Design& layer = built[i];
+    const std::vector<SpeciesId>& map = maps[i];
+    for (const auto& [name, id] : layer.circuit.inputs) {
+      design.info.roots.emplace_back(map[id.index()], PortRole::kInput);
+    }
+    for (const auto& [name, id] : layer.circuit.outputs) {
+      design.info.roots.emplace_back(map[id.index()], PortRole::kOutput);
+    }
+    for (const auto& [name, id] : layer.circuit.register_state) {
+      design.info.roots.emplace_back(map[id.index()], PortRole::kState);
+    }
+    const sync::ClockHandles& clock = layer.circuit.clock;
+    for (const SpeciesId id : {clock.phase_r, clock.phase_g, clock.phase_b,
+                               clock.ind_r, clock.ind_g, clock.ind_b}) {
+      design.info.roots.emplace_back(map[id.index()], PortRole::kClock);
+    }
+  }
+  // Layer tags do not survive the merge; tag-indexed checks are skipped.
+  design.info.tags_valid = false;
+
+  design.composition =
+      std::make_unique<compile::Composition>(composer.composition());
+  return design;
+}
+
+bool looks_like_path(const std::string& argument) {
+  if (argument.find('/') != std::string::npos) return true;
+  constexpr std::string_view kSuffix = ".mrsc";
+  return argument.size() > kSuffix.size() &&
+         argument.compare(argument.size() - kSuffix.size(), kSuffix.size(),
+                          kSuffix) == 0;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  fixed_names_ = {"counter", "moving_average",   "iir",    "first_difference",
+                  "delay",   "seqdet",           "cascade"};
+  fixed_names_csv_ =
+      "counter, moving_average, iir, first_difference, delay, seqdet, "
+      "cascade";
+  generators_ = {
+      {"counter", "N", 1, kMaxCounterBits, 2,
+       "N-bit dual-rail ripple-carry counter"},
+      {"delay_chain", "D", 1, kMaxChainElements, 2,
+       "self-timed chain of D asynchronous delay elements"},
+      {"fsm_wide", "S", 2, kMaxFsmStates, 4,
+       "S-state cyclic machine with reset input (one-hot encoded)"},
+      {"cascade", "L", kMinCascadeLayers, kMaxCascadeLayers, 3,
+       "L delay-line layers composed through declared interfaces"},
+  };
+}
+
+const ScenarioRegistry& ScenarioRegistry::global() {
+  static const ScenarioRegistry registry;
+  return registry;
+}
+
+std::vector<std::string> ScenarioRegistry::smoke_catalog() const {
+  std::vector<std::string> catalog = fixed_names_;
+  for (const GeneratorInfo& generator : generators_) {
+    catalog.push_back(generator.name + "(" +
+                      std::to_string(generator.smoke_arg) + ")");
+  }
+  return catalog;
+}
+
+const GeneratorInfo* ScenarioRegistry::find_generator(
+    const std::string& name) const {
+  for (const GeneratorInfo& generator : generators_) {
+    if (generator.name == name) return &generator;
+  }
+  return nullptr;
+}
+
+SpecCall ScenarioRegistry::validate(const std::string& spec) const {
+  const SpecCall call = parse_spec(spec);
+  if (call.args.empty()) {
+    for (const std::string& name : fixed_names_) {
+      if (name == call.name) return call;
+    }
+    throw std::invalid_argument(
+        "unknown design '" + call.name + "' (try " + fixed_names_csv_ +
+        "; parametric: counter(N), delay_chain(D), fsm_wide(S), cascade(L))");
+  }
+  const GeneratorInfo* generator = find_generator(call.name);
+  if (generator == nullptr) {
+    throw std::invalid_argument(
+        "unknown generator '" + call.name +
+        "' (parametric designs: counter(N), delay_chain(D), fsm_wide(S), "
+        "cascade(L))");
+  }
+  if (call.args.size() != 1) {
+    throw std::invalid_argument(
+        "generator '" + call.name + "' takes exactly one argument, got " +
+        std::to_string(call.args.size()));
+  }
+  if (call.args[0] < generator->min_arg || call.args[0] > generator->max_arg) {
+    throw std::invalid_argument(
+        "generator '" + call.name + "': argument " +
+        std::to_string(call.args[0]) + " is out of range [" +
+        std::to_string(generator->min_arg) + ", " +
+        std::to_string(generator->max_arg) + "]");
+  }
+  return call;
+}
+
+bool ScenarioRegistry::known(const std::string& spec) const {
+  try {
+    (void)validate(spec);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string ScenarioRegistry::canonicalize(const std::string& spec) const {
+  return validate(spec).canonical();
+}
+
+ResolvedScenario ScenarioRegistry::resolve(
+    const std::string& spec, const compile::CompileOptions& options) const {
+  const SpecCall call = validate(spec);
+  ResolvedScenario resolved;
+  resolved.scenario.name = call.canonical();
+  resolved.scenario.design = resolved.scenario.name;
+
+  if (call.args.empty()) {
+    if (call.name == "counter") {
+      resolved.design =
+          build_counter_design(dsp::CounterSpec{}.bits, options,
+                               resolved.artifacts);
+      resolved.scenario.stress.design = "counter";
+    } else if (call.name == "seqdet") {
+      resolved.design = build_fsm_design(fsm::make_sequence_detector("101"),
+                                         options, resolved.artifacts);
+      resolved.scenario.stress.design = "sequence_detector";
+    } else if (call.name == "moving_average") {
+      resolved.design = build_circuit_design(
+          [](const compile::CompileOptions& o) {
+            return dsp::make_moving_average({}, o);
+          },
+          options, resolved.artifacts);
+      resolved.scenario.stress.design = "moving_average";
+    } else if (call.name == "iir") {
+      resolved.design = build_circuit_design(
+          [](const compile::CompileOptions& o) {
+            return dsp::make_second_order_iir({}, o);
+          },
+          options, resolved.artifacts);
+    } else if (call.name == "first_difference") {
+      resolved.design = build_circuit_design(
+          [](const compile::CompileOptions& o) {
+            return dsp::make_first_difference({}, o);
+          },
+          options, resolved.artifacts);
+    } else if (call.name == "delay") {
+      resolved.design = build_circuit_design(
+          [](const compile::CompileOptions& o) {
+            return dsp::make_delay_line(3, {}, o);
+          },
+          options, resolved.artifacts);
+    } else {  // "cascade"
+      resolved.design = build_cascade_design(2, options);
+    }
+  } else if (call.name == "counter") {
+    resolved.design = build_counter_design(
+        static_cast<std::size_t>(call.args[0]), options, resolved.artifacts);
+    resolved.scenario.stress.design = "counter";
+  } else if (call.name == "delay_chain") {
+    resolved.design = build_chain_design(
+        static_cast<std::size_t>(call.args[0]), resolved.artifacts);
+    resolved.scenario.stress.design = "async_chain";
+  } else if (call.name == "fsm_wide") {
+    resolved.design =
+        build_fsm_design(make_wide_fsm(static_cast<std::size_t>(call.args[0])),
+                         options, resolved.artifacts);
+    resolved.scenario.stress.design = "sequence_detector";
+  } else {  // "cascade"
+    resolved.design =
+        build_cascade_design(static_cast<std::size_t>(call.args[0]), options);
+  }
+  return resolved;
+}
+
+ResolvedScenario ScenarioRegistry::resolve(
+    const Scenario& scenario, const compile::CompileOptions& options) const {
+  if (!scenario.design.empty()) {
+    ResolvedScenario resolved = resolve(scenario.design, options);
+    // The file record wins everywhere except the compiled design: budgets,
+    // name, description, and an explicit stress binding all pass through.
+    const std::string generated_binding = resolved.scenario.stress.design;
+    resolved.scenario = scenario;
+    if (resolved.scenario.stress.design.empty()) {
+      resolved.scenario.stress.design = generated_binding;
+    }
+    return resolved;
+  }
+  ResolvedScenario resolved;
+  resolved.scenario = scenario;
+  resolved.design.owned = std::make_unique<core::ReactionNetwork>(
+      core::parse_network(scenario.network_text));
+  resolved.design.network = resolved.design.owned.get();
+  for (const std::string& name : scenario.roots) {
+    const auto id = resolved.design.network->find_species(name);
+    if (!id) {
+      throw std::invalid_argument("scenario '" + scenario.name +
+                                  "': @roots names no species '" + name +
+                                  "'");
+    }
+    resolved.design.info.roots.emplace_back(*id, PortRole::kInput);
+  }
+  resolved.design.info.tags_valid = false;
+  return resolved;
+}
+
+ResolvedScenario resolve_scenario_argument(
+    const std::string& argument, const compile::CompileOptions& options) {
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+  if (looks_like_path(argument)) {
+    return registry.resolve(load_scenario_file(argument), options);
+  }
+  if (registry.known(argument)) return registry.resolve(argument, options);
+  // Not a registry spec: try the scenario search path before reporting the
+  // spec error (which carries the catalog listing).
+  const char* dir = std::getenv("MRSC_SCENARIO_DIR");
+  const std::string candidates[] = {
+      dir != nullptr ? std::string(dir) + "/" + argument + ".mrsc" : "",
+      "scenarios/" + argument + ".mrsc",
+  };
+  for (const std::string& candidate : candidates) {
+    if (!candidate.empty() && file_exists(candidate)) {
+      return registry.resolve(load_scenario_file(candidate), options);
+    }
+  }
+  (void)registry.canonicalize(argument);  // throws the catalog-listing error
+  throw std::invalid_argument("unresolvable scenario '" + argument + "'");
+}
+
+}  // namespace mrsc::scenario

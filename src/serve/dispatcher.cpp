@@ -10,6 +10,7 @@
 #include "core/network.hpp"
 #include "lint/lint.hpp"
 #include "runtime/batch.hpp"
+#include "scenario/registry.hpp"
 #include "stress/campaign.hpp"
 #include "tools/builtin_designs.hpp"
 #include "verify/verify.hpp"
@@ -112,6 +113,19 @@ JobRequest parse_job(const json::Value& request) {
   }
 
   job.design = request.get_string("design", job.design);
+  // Sim and lint designs resolve through the scenario registry: validate
+  // here (bad specs are parse errors, not run failures) and cache-key on the
+  // canonical spelling, so "counter( 2 )" and "counter(2)" share an entry.
+  // Fixed names canonicalize to themselves, preserving pre-registry keys.
+  // Stress designs name campaign families, not registry specs — left alone.
+  if (job.kind == JobKind::kSim || job.kind == JobKind::kLint) {
+    try {
+      job.design =
+          scenario::ScenarioRegistry::global().canonicalize(job.design);
+    } catch (const std::invalid_argument& error) {
+      reject(error.what());
+    }
+  }
   job.seed = u64_field(request, "seed", job.seed);
   const double opt = request.get_number("opt", 0.0);
   if (opt != 0.0 && opt != 1.0) reject("field 'opt' must be 0 or 1");

@@ -1,114 +1,17 @@
 #include "tools/builtin_designs.hpp"
 
-#include <stdexcept>
 #include <utility>
-#include <vector>
-
-#include "compile/compose.hpp"
-#include "dsp/counter.hpp"
-#include "dsp/filters.hpp"
-#include "fsm/fsm.hpp"
 
 namespace mrsc::tools {
 
-namespace {
-
-using compile::PortRole;
-using core::SpeciesId;
-
-/// Two delay lines compiled separately, then composed: A's output port is
-/// wired into B's input port through a declared fast channel, and B's
-/// output is the sampled terminal.
-BuiltDesign build_cascade(const compile::CompileOptions& options) {
-  compile::CompileOptions layer_options = options;
-  layer_options.design_info = nullptr;
-  layer_options.report = nullptr;
-  const dsp::Design a = dsp::make_delay_line(2, {}, layer_options);
-  const dsp::Design b = dsp::make_delay_line(2, {}, layer_options);
-
-  BuiltDesign design;
-  design.owned = std::make_unique<core::ReactionNetwork>();
-  design.network = design.owned.get();
-  design.owned->set_rate_policy(a.network->rate_policy());
-
-  compile::CascadeComposer composer(*design.owned);
-  std::vector<SpeciesId> map_a;
-  std::vector<SpeciesId> map_b;
-  composer.add_layer(*a.network, "A_", &map_a);
-  composer.add_layer(*b.network, "B_", &map_b);
-  composer.wire(map_a[a.circuit.output("y").index()],
-                map_b[b.circuit.input("x").index()], "cascade.link");
-  composer.mark_terminal(map_b[b.circuit.output("y").index()]);
-
-  auto add_layer_roots = [&](const dsp::Design& layer,
-                             const std::vector<SpeciesId>& map) {
-    for (const auto& [name, id] : layer.circuit.inputs) {
-      design.info.roots.emplace_back(map[id.index()], PortRole::kInput);
-    }
-    for (const auto& [name, id] : layer.circuit.outputs) {
-      design.info.roots.emplace_back(map[id.index()], PortRole::kOutput);
-    }
-    for (const auto& [name, id] : layer.circuit.register_state) {
-      design.info.roots.emplace_back(map[id.index()], PortRole::kState);
-    }
-    const sync::ClockHandles& clock = layer.circuit.clock;
-    for (const SpeciesId id : {clock.phase_r, clock.phase_g, clock.phase_b,
-                               clock.ind_r, clock.ind_g, clock.ind_b}) {
-      design.info.roots.emplace_back(map[id.index()], PortRole::kClock);
-    }
-  };
-  add_layer_roots(a, map_a);
-  add_layer_roots(b, map_b);
-  // Layer tags do not survive the merge; tag-indexed checks are skipped.
-  design.info.tags_valid = false;
-
-  design.composition =
-      std::make_unique<compile::Composition>(composer.composition());
-  return design;
-}
-
-}  // namespace
-
 const char* builtin_design_names() {
-  return "counter, moving_average, iir, first_difference, delay, seqdet, "
-         "cascade";
+  return scenario::ScenarioRegistry::global().fixed_names_csv().c_str();
 }
 
 BuiltDesign build_design(const std::string& name,
                          compile::CompileOptions options) {
-  if (name == "cascade") return build_cascade(options);
-
-  BuiltDesign design;
-  options.design_info = &design.info;
-  if (name == "counter") {
-    design.owned = std::make_unique<core::ReactionNetwork>();
-    dsp::build_counter(*design.owned, dsp::CounterSpec{}, options);
-    design.network = design.owned.get();
-    return design;
-  }
-  if (name == "seqdet") {
-    design.owned = std::make_unique<core::ReactionNetwork>();
-    const fsm::FsmSpec spec = fsm::make_sequence_detector("101");
-    fsm::build_fsm(*design.owned, spec, options);
-    design.network = design.owned.get();
-    return design;
-  }
-  dsp::Design compiled;
-  if (name == "moving_average") {
-    compiled = dsp::make_moving_average({}, options);
-  } else if (name == "iir") {
-    compiled = dsp::make_second_order_iir({}, options);
-  } else if (name == "first_difference") {
-    compiled = dsp::make_first_difference({}, options);
-  } else if (name == "delay") {
-    compiled = dsp::make_delay_line(3, {}, options);
-  } else {
-    throw std::invalid_argument(std::string("unknown design '") + name +
-                                "' (try " + builtin_design_names() + ")");
-  }
-  design.owned = std::move(compiled.network);
-  design.network = design.owned.get();
-  return design;
+  return std::move(
+      scenario::ScenarioRegistry::global().resolve(name, options).design);
 }
 
 }  // namespace mrsc::tools

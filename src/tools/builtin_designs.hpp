@@ -1,37 +1,31 @@
-// Built-in example designs shared by the mrsc_compile and mrsc_lint CLIs.
+// Built-in design lookup for the CLIs — a thin shim over the scenario
+// registry (scenario/registry.hpp), which is the single resolver for every
+// design the toolchain runs.
 //
-// Every design compiles through the shared lowering pipeline with
-// CompileOptions::design_info wired up, so the static analyzer gets the
-// interface roles and emission tags for free. The "cascade" design is the
-// CascadeComposer demonstrator: two independently compiled delay lines
-// joined by a declared interface channel, which is what the ISS
-// composition check certifies.
+// `build_design` accepts everything the registry serves: the fixed builtin
+// names ("counter", "cascade", ...) and the parametric generator specs
+// ("counter(4)", "delay_chain(8)", "fsm_wide(16)", "cascade(3)"). Fixed
+// names compile byte-identically to what this module produced before the
+// registry existed.
 #pragma once
 
-#include <memory>
 #include <string>
 
-#include "compile/compose.hpp"
 #include "compile/passes.hpp"
-#include "core/network.hpp"
+#include "scenario/registry.hpp"
 
 namespace mrsc::tools {
 
-/// A compiled built-in design plus the analyzer-facing metadata.
-struct BuiltDesign {
-  std::unique_ptr<core::ReactionNetwork> owned;
-  core::ReactionNetwork* network = nullptr;
-  compile::DesignInfo info;
-  /// Non-null only for composed designs ("cascade").
-  std::unique_ptr<compile::Composition> composition;
-};
+/// A compiled design plus the analyzer-facing metadata; produced by the
+/// scenario registry.
+using BuiltDesign = scenario::BuiltDesign;
 
-/// Comma-separated list for usage strings.
+/// Comma-separated list of the fixed designs, for usage strings.
 [[nodiscard]] const char* builtin_design_names();
 
-/// Compiles a built-in design by name; throws std::invalid_argument for an
-/// unknown name. `options.design_info` is managed internally (the result's
-/// `info` member is always filled).
+/// Compiles a design by registry spec; throws std::invalid_argument for an
+/// unknown name, bad arity, or out-of-range argument. `options.design_info`
+/// is managed internally (the result's `info` member is always filled).
 [[nodiscard]] BuiltDesign build_design(const std::string& name,
                                        compile::CompileOptions options);
 

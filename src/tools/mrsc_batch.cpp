@@ -1,6 +1,12 @@
 // mrsc_batch — parallel batch runner for reaction-network files.
 //
 //   mrsc_batch FILE.crn [options]
+//   mrsc_batch --scenario SPEC [options]
+//
+//   --scenario SPEC    run a registry scenario ("counter", "cascade(3)", or
+//                      a .mrsc file) instead of a file; the scenario's sim
+//                      budget supplies defaults for --method/--t-end/
+//                      --record/--omega/--seed (explicit flags win)
 //
 // Two modes over the runtime's BatchRunner:
 //
@@ -49,6 +55,7 @@
 
 #include "compile/passes.hpp"
 #include "core/io.hpp"
+#include "scenario/registry.hpp"
 #include "analysis/sweep.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/ensemble.hpp"
@@ -60,6 +67,7 @@ using namespace mrsc;
 
 struct CliOptions {
   std::string file;
+  std::string scenario;
   std::string mode = "ensemble";
   std::size_t jobs = 0;  // 0 -> hardware concurrency
   std::size_t replicates = 64;
@@ -78,6 +86,13 @@ struct CliOptions {
   std::size_t retries = 0;  // extra attempts beyond the first
   bool opt = false;
   std::string json;
+  // Whether the user passed the flag explicitly; explicit flags beat the
+  // scenario's sim budget.
+  bool set_method = false;
+  bool set_t_end = false;
+  bool set_record = false;
+  bool set_omega = false;
+  bool set_seed = false;
   // Compile report JSON from --opt, embedded in the --json output.
   std::string compile_json;
 };
@@ -85,7 +100,8 @@ struct CliOptions {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mrsc_batch FILE.crn [--mode ensemble|sweep] [--jobs N]\n"
+      "usage: mrsc_batch [FILE.crn | --scenario SPEC]\n"
+      "       [--mode ensemble|sweep] [--jobs N]\n"
       "       [--replicates R] [--timeout S] [--seed S] [--t-end T]\n"
       "       [--method ssa|nrm|tau|dp45|rk4|be] [--omega W]\n"
       "       [--engine compiled|legacy] [--record DT]\n"
@@ -177,16 +193,23 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       if (!parse_double(arg, value, options.timeout)) return false;
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!parse_u64(arg, value, options.seed)) return false;
+      options.set_seed = true;
     } else if (std::strcmp(arg, "--t-end") == 0) {
       if (!parse_double(arg, value, options.t_end)) return false;
+      options.set_t_end = true;
     } else if (std::strcmp(arg, "--method") == 0) {
       options.method = value;
+      options.set_method = true;
     } else if (std::strcmp(arg, "--omega") == 0) {
       if (!parse_double(arg, value, options.omega)) return false;
+      options.set_omega = true;
     } else if (std::strcmp(arg, "--engine") == 0) {
       options.engine = value;
     } else if (std::strcmp(arg, "--record") == 0) {
       if (!parse_double(arg, value, options.record)) return false;
+      options.set_record = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      options.scenario = value;
     } else if (std::strcmp(arg, "--tau") == 0) {
       if (!parse_double(arg, value, options.tau)) return false;
     } else if (std::strcmp(arg, "--dt") == 0) {
@@ -213,7 +236,9 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  if (options.file.empty()) {
+  if (options.file.empty() == options.scenario.empty()) {
+    std::fprintf(stderr,
+                 "mrsc_batch: give exactly one of FILE.crn or --scenario\n");
     usage();
     return false;
   }
@@ -566,10 +591,36 @@ int run_sweep(const core::ReactionNetwork& network, const CliOptions& cli) {
 int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) return 2;
+  core::ReactionNetwork network;
+  std::string label = cli.file;
+  if (!cli.scenario.empty()) {
+    try {
+      scenario::ResolvedScenario resolved =
+          scenario::resolve_scenario_argument(cli.scenario);
+      network = std::move(*resolved.design.network);
+      label = resolved.scenario.name;
+      const scenario::SimBudget& budget = resolved.scenario.sim;
+      if (!cli.set_method && budget.method) cli.method = *budget.method;
+      if (!cli.set_t_end && budget.t_end) cli.t_end = *budget.t_end;
+      if (!cli.set_record && budget.record) cli.record = *budget.record;
+      if (!cli.set_omega && budget.omega) cli.omega = *budget.omega;
+      if (!cli.set_seed && budget.seed) cli.seed = *budget.seed;
+      std::printf("scenario %s: %zu species, %zu reactions\n", label.c_str(),
+                  network.species_count(), network.reaction_count());
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "mrsc_batch: %s\n", error.what());
+      return 2;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_batch: %s\n", error.what());
+      return 1;
+    }
+  }
   try {
-    core::ReactionNetwork network = core::load_network(cli.file);
-    std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
-                network.species_count(), network.reaction_count());
+    if (!cli.file.empty()) {
+      network = core::load_network(cli.file);
+      std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
+                  network.species_count(), network.reaction_count());
+    }
     if (cli.opt) {
       // Resolve --species against the unoptimized network and pin them as
       // roots so everything the user asked to see survives optimization.
@@ -584,7 +635,7 @@ int main(int argc, char** argv) {
         roots.push_back(*id);
       }
       auto optimized = compile::optimize_network(network, roots);
-      optimized.report.design = cli.file;
+      optimized.report.design = label;
       std::printf("%s", optimized.report.to_table().c_str());
       cli.compile_json = optimized.report.to_json();
     }

@@ -3,9 +3,15 @@
 //
 //   mrsc_compile FILE.crn [options]
 //   mrsc_compile --design NAME [options]
+//   mrsc_compile --scenario SPEC [options]
+//   mrsc_compile --list-scenarios
 //
 //   --design NAME      compile a built-in design instead of a file (see
 //                      tools/builtin_designs.hpp for the list)
+//   --scenario SPEC    compile a registry scenario: a design spec
+//                      ("counter", "cascade(3)") or a .mrsc scenario file
+//   --list-scenarios   print the scenario catalog (fixed designs, parametric
+//                      generators with their ranges, smoke set) and exit
 //   --opt 0|1          optimization level               (default 1)
 //   --assume-zero A,B  input ports promised to stay zero; their dead cone
 //                      is eliminated at -O1 (built-in circuit designs only)
@@ -40,6 +46,8 @@ using namespace mrsc;
 struct CliOptions {
   std::string file;
   std::string design;
+  std::string scenario;
+  bool list_scenarios = false;
   int opt = 1;
   std::vector<std::string> assume_zero;
   std::vector<std::string> roots;
@@ -51,9 +59,9 @@ struct CliOptions {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mrsc_compile [FILE.crn | --design NAME] [--opt 0|1]\n"
-      "       [--assume-zero A,B] [--roots A,B] [--json PATH] [--out PATH]\n"
-      "       [--lint]\n"
+      "usage: mrsc_compile [FILE.crn | --design NAME | --scenario SPEC]\n"
+      "       [--opt 0|1] [--assume-zero A,B] [--roots A,B] [--json PATH]\n"
+      "       [--out PATH] [--lint] [--list-scenarios]\n"
       "       designs: %s\n",
       mrsc::tools::builtin_design_names());
 }
@@ -95,10 +103,16 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.lint = true;
       continue;
     }
+    if (std::strcmp(arg, "--list-scenarios") == 0) {
+      options.list_scenarios = true;
+      continue;
+    }
     const char* value = need_value(i);
     if (value == nullptr) return false;
     if (std::strcmp(arg, "--design") == 0) {
       options.design = value;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      options.scenario = value;
     } else if (std::strcmp(arg, "--opt") == 0) {
       if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
         std::fprintf(stderr, "mrsc_compile: --opt must be 0 or 1\n");
@@ -118,12 +132,38 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  if (options.file.empty() == options.design.empty()) {
+  if (options.list_scenarios) return true;
+  const int sources = (options.file.empty() ? 0 : 1) +
+                      (options.design.empty() ? 0 : 1) +
+                      (options.scenario.empty() ? 0 : 1);
+  if (sources != 1) {
     std::fprintf(stderr,
-                 "mrsc_compile: give exactly one of FILE.crn or --design\n");
+                 "mrsc_compile: give exactly one of FILE.crn, --design, or "
+                 "--scenario\n");
     return false;
   }
   return true;
+}
+
+void print_scenario_catalog() {
+  const auto& registry = scenario::ScenarioRegistry::global();
+  std::printf("fixed designs: %s\n", registry.fixed_names_csv().c_str());
+  std::printf("generators:\n");
+  for (const scenario::GeneratorInfo& info : registry.generators()) {
+    std::printf("  %s(%s)  %s in [%llu, %llu], smoke %s(%llu) — %s\n",
+                info.name.c_str(), info.parameter.c_str(),
+                info.parameter.c_str(),
+                static_cast<unsigned long long>(info.min_arg),
+                static_cast<unsigned long long>(info.max_arg),
+                info.name.c_str(),
+                static_cast<unsigned long long>(info.smoke_arg),
+                info.summary.c_str());
+  }
+  std::printf("smoke catalog:");
+  for (const std::string& spec : registry.smoke_catalog()) {
+    std::printf(" %s", spec.c_str());
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -134,6 +174,10 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (cli.list_scenarios) {
+    print_scenario_catalog();
+    return 0;
+  }
   try {
     compile::CompileReport report;
     compile::CompileOptions compile_options;
@@ -143,7 +187,18 @@ int main(int argc, char** argv) {
     compile_options.report = &report;
 
     tools::BuiltDesign compiled;
-    if (!cli.design.empty()) {
+    if (!cli.scenario.empty()) {
+      scenario::ResolvedScenario resolved;
+      try {
+        resolved =
+            scenario::resolve_scenario_argument(cli.scenario, compile_options);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "mrsc_compile: %s\n", error.what());
+        return 2;
+      }
+      report.design = resolved.scenario.name;
+      compiled = std::move(resolved.design);
+    } else if (!cli.design.empty()) {
       report.design = cli.design;
       compiled = tools::build_design(cli.design, compile_options);
     } else {

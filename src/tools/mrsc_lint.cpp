@@ -2,10 +2,15 @@
 //
 //   mrsc_lint --design NAME [options]
 //   mrsc_lint --design all  [options]     lint every built-in design
+//   mrsc_lint --scenario SPEC [options]   lint a registry scenario
 //   mrsc_lint FILE.crn [options]          lint a serialized network
 //
 //   --design NAME      built-in design to compile and analyze (see list
 //                      below), or "all"
+//   --scenario SPEC    lint a registry scenario: a design spec ("counter",
+//                      "cascade(3)") or a .mrsc scenario file; the
+//                      scenario's lint budget supplies default --checks and
+//                      --werror (explicit flags win)
 //   --roots A,B        species treated as design ports (FILE mode; built-in
 //                      designs carry their port roster automatically)
 //   --opt 0|1          optimization level to lint at (default 0: the
@@ -29,6 +34,7 @@
 
 #include "core/io.hpp"
 #include "lint/lint.hpp"
+#include "scenario/registry.hpp"
 #include "tools/builtin_designs.hpp"
 
 namespace {
@@ -38,6 +44,7 @@ using namespace mrsc;
 struct CliOptions {
   std::string file;
   std::string design;
+  std::string scenario;
   std::vector<std::string> roots;
   int opt = 0;
   std::vector<std::string> checks;
@@ -48,7 +55,8 @@ struct CliOptions {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mrsc_lint [FILE.crn | --design NAME|all] [--opt 0|1]\n"
+               "usage: mrsc_lint [FILE.crn | --design NAME|all |\n"
+               "       --scenario SPEC] [--opt 0|1]\n"
                "       [--roots A,B] [--checks a,b] [--json PATH|-]\n"
                "       [--werror] [--quiet]\n"
                "       designs: %s\n",
@@ -101,6 +109,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     const char* value = argv[++i];
     if (std::strcmp(arg, "--design") == 0) {
       options.design = value;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      options.scenario = value;
     } else if (std::strcmp(arg, "--opt") == 0) {
       if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
         std::fprintf(stderr, "mrsc_lint: --opt must be 0 or 1\n");
@@ -118,9 +128,13 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  if (options.file.empty() == options.design.empty()) {
+  const int sources = (options.file.empty() ? 0 : 1) +
+                      (options.design.empty() ? 0 : 1) +
+                      (options.scenario.empty() ? 0 : 1);
+  if (sources != 1) {
     std::fprintf(stderr,
-                 "mrsc_lint: give exactly one of FILE.crn or --design\n");
+                 "mrsc_lint: give exactly one of FILE.crn, --design, or "
+                 "--scenario\n");
     return false;
   }
   return true;
@@ -186,6 +200,39 @@ int main(int argc, char** argv) {
         }
       }
       return report.clean(cli.werror) ? 0 : 1;
+    }
+
+    if (!cli.scenario.empty()) {
+      compile::CompileOptions compile_options;
+      compile_options.opt =
+          cli.opt == 0 ? compile::OptLevel::kO0 : compile::OptLevel::kO1;
+      const scenario::ResolvedScenario resolved =
+          scenario::resolve_scenario_argument(cli.scenario, compile_options);
+      lint::LintInput input =
+          lint::LintInput::from_design(*resolved.design.network,
+                                       resolved.design.info,
+                                       resolved.scenario.name);
+      input.composition = resolved.design.composition.get();
+      lint::LintOptions lint_options;
+      lint_options.checks = cli.checks.empty() ? resolved.scenario.lint.checks
+                                               : cli.checks;
+      const lint::LintReport report = lint::run_lint(input, lint_options);
+      std::printf("%s", report.to_text(!cli.quiet).c_str());
+      if (!cli.json.empty()) {
+        if (cli.json == "-") {
+          std::printf("%s", report.to_json().c_str());
+        } else {
+          std::ofstream out(cli.json);
+          if (!out) {
+            std::fprintf(stderr, "mrsc_lint: cannot write %s\n",
+                         cli.json.c_str());
+            return 2;
+          }
+          out << report.to_json();
+        }
+      }
+      const bool werror = cli.werror || resolved.scenario.lint.werror;
+      return report.clean(werror) ? 0 : 1;
     }
 
     std::vector<std::string> designs;

@@ -17,9 +17,16 @@
 //   --rate R           requests per second         (default 50)
 //   --duration S       run length, seconds         (default 2)
 //   --connections C    parallel connections        (default 4)
-//   --designs A,B,C    corpus designs              (default counter,
+//   --designs A,B,C    corpus designs: registry specs, fixed or parametric
+//                      ("counter", "cascade(3)"); validated and
+//                      canonicalized through the scenario registry before
+//                      any request is sent (default counter,
 //                      moving_average,delay)
 //   --kinds A,B        corpus job kinds: sim|lint  (default sim,lint)
+//   --corpus FILE      replay a scenario corpus file instead of the
+//                      designs x kinds grid: one "<kind> <spec>" pair per
+//                      line (kind sim|lint, spec a registry design spec),
+//                      '#' comments and blank lines ignored
 //   --seed S           sim seed (fixed per request so replays hit the
 //                      cache; default 1)
 //   --t-end T          sim horizon                 (default 3)
@@ -49,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "scenario/registry.hpp"
 #include "serve/dispatcher.hpp"
 #include "serve/protocol.hpp"
 
@@ -65,6 +73,7 @@ struct CliOptions {
   std::size_t connections = 4;
   std::vector<std::string> designs = {"counter", "moving_average", "delay"};
   std::vector<std::string> kinds = {"sim", "lint"};
+  std::string corpus_file;
   std::uint64_t seed = 1;
   double t_end = 3.0;
   double omega = 200.0;
@@ -76,7 +85,8 @@ void usage() {
       stderr,
       "usage: mrsc_loadgen --port P [--host A] [--rate R] [--duration S]\n"
       "       [--connections C] [--designs A,B,C] [--kinds sim,lint]\n"
-      "       [--seed S] [--t-end T] [--omega W] [--json PATH]\n");
+      "       [--corpus FILE] [--seed S] [--t-end T] [--omega W]\n"
+      "       [--json PATH]\n");
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -148,6 +158,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       options.designs = split_commas(value);
     } else if (std::strcmp(arg, "--kinds") == 0) {
       options.kinds = split_commas(value);
+    } else if (std::strcmp(arg, "--corpus") == 0) {
+      options.corpus_file = value;
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!parse_u64(arg, value, options.seed)) return false;
     } else if (std::strcmp(arg, "--t-end") == 0) {
@@ -188,27 +200,70 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-/// The replayable request corpus: designs x kinds, fixed seeds/options, so
-/// cycle 2 onward replays byte-identical requests.
-std::vector<std::string> build_corpus(const CliOptions& options) {
-  std::vector<std::string> corpus;
-  for (const std::string& design : options.designs) {
-    for (const std::string& kind : options.kinds) {
-      std::string request = "{\"op\":\"job\",\"kind\":\"" + kind + "\"";
-      request += ",\"design\":" + serve::json::quote(design);
-      if (kind == "sim") {
-        request += ",\"method\":\"nrm\"";
-        request += ",\"seed\":" + std::to_string(options.seed);
-        request +=
-            ",\"t_end\":" + serve::json::number_to_string(options.t_end);
-        request +=
-            ",\"omega\":" + serve::json::number_to_string(options.omega);
-      } else {
-        request += ",\"opt\":1";
-      }
-      request += '}';
-      corpus.push_back(std::move(request));
+/// One corpus entry: a job kind plus the registry design spec it targets.
+struct CorpusEntry {
+  std::string kind;
+  std::string design;
+};
+
+/// Parses a scenario corpus file: one "<kind> <spec>" per line, '#'
+/// comments and blank lines ignored. Throws std::invalid_argument naming
+/// the offending line, std::runtime_error when the file is unreadable.
+std::vector<CorpusEntry> load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read corpus file " + path);
+  std::vector<CorpusEntry> entries;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    const std::size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      throw std::invalid_argument(path + ": line " +
+                                  std::to_string(line_number) +
+                                  ": expected '<kind> <spec>'");
     }
+    CorpusEntry entry;
+    entry.kind = line.substr(0, space);
+    const std::size_t spec_start = line.find_first_not_of(" \t", space);
+    entry.design = line.substr(spec_start);
+    if (entry.kind != "sim" && entry.kind != "lint") {
+      throw std::invalid_argument(
+          path + ": line " + std::to_string(line_number) + ": kind '" +
+          entry.kind + "' must be sim or lint");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    throw std::invalid_argument(path + ": corpus file has no entries");
+  }
+  return entries;
+}
+
+/// The replayable request corpus, fixed seeds/options, so cycle 2 onward
+/// replays byte-identical requests.
+std::vector<std::string> build_corpus(const std::vector<CorpusEntry>& entries,
+                                      const CliOptions& options) {
+  std::vector<std::string> corpus;
+  for (const CorpusEntry& entry : entries) {
+    std::string request = "{\"op\":\"job\",\"kind\":\"" + entry.kind + "\"";
+    request += ",\"design\":" + serve::json::quote(entry.design);
+    if (entry.kind == "sim") {
+      request += ",\"method\":\"nrm\"";
+      request += ",\"seed\":" + std::to_string(options.seed);
+      request += ",\"t_end\":" + serve::json::number_to_string(options.t_end);
+      request += ",\"omega\":" + serve::json::number_to_string(options.omega);
+    } else {
+      request += ",\"opt\":1";
+    }
+    request += '}';
+    corpus.push_back(std::move(request));
   }
   return corpus;
 }
@@ -236,7 +291,39 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) return 2;
 
-  const std::vector<std::string> corpus = build_corpus(cli);
+  // Assemble the corpus entries (from --corpus or the designs x kinds
+  // grid), then validate and canonicalize every spec through the registry
+  // before a single request leaves: a typo'd design is bad usage here, not
+  // a stream of server-side error responses.
+  std::vector<CorpusEntry> entries;
+  if (!cli.corpus_file.empty()) {
+    try {
+      entries = load_corpus_file(cli.corpus_file);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "mrsc_loadgen: %s\n", error.what());
+      return 2;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_loadgen: %s\n", error.what());
+      return 1;
+    }
+  } else {
+    for (const std::string& design : cli.designs) {
+      for (const std::string& kind : cli.kinds) {
+        entries.push_back({kind, design});
+      }
+    }
+  }
+  for (CorpusEntry& entry : entries) {
+    try {
+      entry.design =
+          scenario::ScenarioRegistry::global().canonicalize(entry.design);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "mrsc_loadgen: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> corpus = build_corpus(entries, cli);
   const auto total_requests = static_cast<std::uint64_t>(
       std::floor(cli.rate * cli.duration));
   if (total_requests == 0) {

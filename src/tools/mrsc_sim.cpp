@@ -1,6 +1,12 @@
 // mrsc_sim — command-line simulator for reaction-network files.
 //
 //   mrsc_sim FILE.crn [options]
+//   mrsc_sim --scenario SPEC [options]
+//
+//   --scenario SPEC    simulate a registry design ("counter", "counter(4)",
+//                      "cascade(3)", ...) or a .mrsc scenario file instead
+//                      of FILE.crn; scenario @sim budgets become defaults
+//                      that explicit flags override
 //
 //   --t-end T          simulation horizon              (default 100)
 //   --method M         dp45 | rk4 | be | ssa | nrm | tau   (default dp45)
@@ -40,6 +46,7 @@
 #include "analysis/plot.hpp"
 #include "compile/passes.hpp"
 #include "core/io.hpp"
+#include "scenario/registry.hpp"
 #include "sim/ode.hpp"
 #include "sim/ssa.hpp"
 
@@ -49,6 +56,7 @@ using namespace mrsc;
 
 struct CliOptions {
   std::string file;
+  std::string scenario;
   double t_end = 100.0;
   std::string method = "dp45";
   double dt = 1e-3;
@@ -63,17 +71,27 @@ struct CliOptions {
   bool plot = false;
   bool laws = false;
   bool opt = false;
+  // Which knobs the user set explicitly — scenario @sim budgets only fill
+  // the ones they did not.
+  bool set_method = false;
+  bool set_t_end = false;
+  bool set_record = false;
+  bool set_omega = false;
+  bool set_seed = false;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mrsc_sim FILE.crn [--t-end T] [--method "
-               "dp45|rk4|be|ssa|nrm|tau]\n"
+               "usage: mrsc_sim [FILE.crn | --scenario SPEC] [--t-end T] "
+               "[--method dp45|rk4|be|ssa|nrm|tau]\n"
                "       [--dt H] [--record DT] [--omega W] [--seed S] "
                "[--tau T]\n"
                "       [--max-events N] [--engine compiled|legacy] "
                "[--species A,B,C] [--csv PATH]\n"
-               "       [--plot] [--laws] [--opt]\n");
+               "       [--plot] [--laws] [--opt]\n"
+               "       scenarios: %s; parametric counter(N), delay_chain(D), "
+               "fsm_wide(S), cascade(L); or a .mrsc file\n",
+               scenario::ScenarioRegistry::global().fixed_names_csv().c_str());
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -129,22 +147,31 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     if (std::strcmp(arg, "--t-end") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.t_end)) return false;
+      options.set_t_end = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.scenario = v;
     } else if (std::strcmp(arg, "--method") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
       options.method = v;
+      options.set_method = true;
     } else if (std::strcmp(arg, "--dt") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.dt)) return false;
     } else if (std::strcmp(arg, "--record") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.record)) return false;
+      options.set_record = true;
     } else if (std::strcmp(arg, "--omega") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.omega)) return false;
+      options.set_omega = true;
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_u64(arg, v, options.seed)) return false;
+      options.set_seed = true;
     } else if (std::strcmp(arg, "--tau") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_double(arg, v, options.tau)) return false;
@@ -183,7 +210,9 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
-  if (options.file.empty()) {
+  if (options.file.empty() == options.scenario.empty()) {
+    std::fprintf(stderr,
+                 "mrsc_sim: give exactly one of FILE.crn or --scenario\n");
     usage();
     return false;
   }
@@ -229,10 +258,38 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_cli(argc, argv, cli)) return 2;
 
+  core::ReactionNetwork network;
+  if (!cli.scenario.empty()) {
+    try {
+      scenario::ResolvedScenario resolved =
+          scenario::resolve_scenario_argument(cli.scenario);
+      network = std::move(*resolved.design.network);
+      // Scenario budgets are defaults; explicit flags win.
+      const scenario::SimBudget& budget = resolved.scenario.sim;
+      if (!cli.set_method && budget.method) cli.method = *budget.method;
+      if (!cli.set_t_end && budget.t_end) cli.t_end = *budget.t_end;
+      if (!cli.set_record && budget.record) cli.record = *budget.record;
+      if (!cli.set_omega && budget.omega) cli.omega = *budget.omega;
+      if (!cli.set_seed && budget.seed) cli.seed = *budget.seed;
+      std::printf("scenario %s: %zu species, %zu reactions\n",
+                  resolved.scenario.name.c_str(), network.species_count(),
+                  network.reaction_count());
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "mrsc_sim: %s\n", error.what());
+      return 2;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_sim: %s\n", error.what());
+      return 1;
+    }
+  }
+
   try {
-    core::ReactionNetwork network = core::load_network(cli.file);
-    std::printf("loaded %s: %zu species, %zu reactions\n", cli.file.c_str(),
-                network.species_count(), network.reaction_count());
+    if (!cli.file.empty()) {
+      network = core::load_network(cli.file);
+      std::printf("loaded %s: %zu species, %zu reactions\n",
+                  cli.file.c_str(), network.species_count(),
+                  network.reaction_count());
+    }
 
     if (cli.opt) {
       // The reported species are the interface the user cares about; pin

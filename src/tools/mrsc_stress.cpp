@@ -11,6 +11,11 @@
 //
 //   --design D         counter | moving_average | sequence_detector |
 //                      async_chain                      (default counter)
+//   --scenario SPEC    derive the campaign from a registry scenario
+//                      ("counter(4)", a .mrsc file): the scenario's stress
+//                      binding picks the design and supplies default
+//                      --fault/--intensities/--trials (explicit flags win).
+//                      Scenarios without a stress binding are rejected.
 //   --fault F          rate-jitter | category-jitter | clock-skew | leak |
 //                      injection | loss | initial-noise (default rate-jitter)
 //   --category C       fast | slow, for category-jitter (default slow)
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/registry.hpp"
 #include "stress/campaign.hpp"
 
 namespace {
@@ -39,7 +45,14 @@ using namespace mrsc;
 
 struct CliOptions {
   stress::CampaignConfig config;
+  std::string scenario;
   bool json = false;
+  // Whether the user passed the flag explicitly; explicit flags beat the
+  // scenario's stress binding.
+  bool set_design = false;
+  bool set_fault = false;
+  bool set_intensities = false;
+  bool set_trials = false;
 };
 
 void usage() {
@@ -47,6 +60,7 @@ void usage() {
       stderr,
       "usage: mrsc_stress [--design counter|moving_average|"
       "sequence_detector|async_chain]\n"
+      "       [--scenario SPEC]\n"
       "       [--fault rate-jitter|category-jitter|clock-skew|leak|"
       "injection|loss|initial-noise]\n"
       "       [--category fast|slow] [--intensities A,B,C] [--trials N]\n"
@@ -115,6 +129,11 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.config.design = *design;
+      options.set_design = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      const char* v = need_value(i);
+      if (!v) return false;
+      options.scenario = v;
     } else if (std::strcmp(arg, "--fault") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
@@ -124,6 +143,7 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.config.fault = *fault;
+      options.set_fault = true;
     } else if (std::strcmp(arg, "--category") == 0) {
       const char* v = need_value(i);
       if (!v) return false;
@@ -149,6 +169,7 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
         }
         options.config.intensities.push_back(value);
       }
+      options.set_intensities = true;
     } else if (std::strcmp(arg, "--trials") == 0) {
       const char* v = need_value(i);
       std::uint64_t trials = 0;
@@ -158,6 +179,7 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
         return false;
       }
       options.config.trials = static_cast<std::size_t>(trials);
+      options.set_trials = true;
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = need_value(i);
       if (!v || !parse_u64(arg, v, options.config.base_seed)) return false;
@@ -180,6 +202,12 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
+  if (!options.scenario.empty() && options.set_design) {
+    std::fprintf(stderr,
+                 "mrsc_stress: --design and --scenario are mutually "
+                 "exclusive\n");
+    return false;
+  }
   if (options.config.fault == stress::FaultKind::kRateJitterReaction ||
       options.config.fault == stress::FaultKind::kStoichiometry) {
     std::fprintf(stderr,
@@ -198,6 +226,52 @@ int main(int argc, char** argv) {
   if (!parse_cli(argc, argv, cli)) {
     usage();
     return 2;
+  }
+  if (!cli.scenario.empty()) {
+    try {
+      const scenario::ResolvedScenario resolved =
+          scenario::resolve_scenario_argument(cli.scenario);
+      const scenario::StressBinding& binding = resolved.scenario.stress;
+      if (binding.design.empty()) {
+        std::fprintf(stderr,
+                     "mrsc_stress: scenario '%s' has no stress binding (no "
+                     "campaign family covers this design)\n",
+                     resolved.scenario.name.c_str());
+        return 2;
+      }
+      const auto design = stress::parse_design(binding.design);
+      if (!design) {
+        std::fprintf(stderr,
+                     "mrsc_stress: scenario '%s' binds unknown campaign "
+                     "design '%s'\n",
+                     resolved.scenario.name.c_str(), binding.design.c_str());
+        return 2;
+      }
+      cli.config.design = *design;
+      if (!cli.set_fault && binding.fault) {
+        const auto fault = stress::parse_fault_kind(binding.fault->c_str());
+        if (!fault) {
+          std::fprintf(stderr,
+                       "mrsc_stress: scenario '%s' binds unknown fault kind "
+                       "'%s'\n",
+                       resolved.scenario.name.c_str(), binding.fault->c_str());
+          return 2;
+        }
+        cli.config.fault = *fault;
+      }
+      if (!cli.set_intensities && !binding.intensities.empty()) {
+        cli.config.intensities = binding.intensities;
+      }
+      if (!cli.set_trials && binding.trials) {
+        cli.config.trials = *binding.trials;
+      }
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "mrsc_stress: %s\n", error.what());
+      return 2;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_stress: %s\n", error.what());
+      return 1;
+    }
   }
   try {
     const stress::CampaignResult result = stress::run_campaign(cli.config);

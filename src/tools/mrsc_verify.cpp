@@ -9,6 +9,16 @@
 // violation prints the shrunk repro plus the exact command to reproduce it
 // and exits 1.
 //
+// A second mode targets one design instead of the random generator:
+//
+//   mrsc_verify --scenario SPEC [options]
+//
+// resolves the scenario ("counter", "cascade(3)", or a .mrsc file) through
+// the registry and sweeps the legacy-vs-compiled engine-equivalence oracle
+// over its network, one run per seed in [start-seed, start-seed + seeds).
+// The scenario's verify budget supplies default --seeds/--start-seed
+// (explicit flags win; bare specs default to seeds=3, start-seed=1).
+//
 //   --seeds N          number of cases              (default 50)
 //   --start-seed S     first seed                   (default 0)
 //   --kinds A,B,C      subset of raw,sync,dual,fsm,counter (default all)
@@ -33,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "scenario/registry.hpp"
+#include "verify/engine_equivalence.hpp"
 #include "verify/golden.hpp"
 #include "verify/verify.hpp"
 
@@ -43,15 +55,21 @@ using namespace mrsc;
 struct CliOptions {
   verify::VerifyOptions verify;
   std::string kinds_csv;
+  std::string scenario;
   std::string json;
   std::string regen_golden;
   bool verbose = false;
+  // Whether the user passed the flag explicitly; explicit flags beat the
+  // scenario's verify budget.
+  bool set_seeds = false;
+  bool set_start_seed = false;
 };
 
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mrsc_verify [--seeds N] [--start-seed S] [--kinds A,B,C]\n"
+      "usage: mrsc_verify [--scenario SPEC]\n"
+      "       [--seeds N] [--start-seed S] [--kinds A,B,C]\n"
       "       [--cycles N] [--replicates R] [--omega W] [--threads N]\n"
       "       [--no-shrink] [--no-differential] [--no-opt-equivalence]\n"
       "       [--no-engine-equivalence] [--json PATH]\n"
@@ -107,8 +125,12 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       std::uint64_t seeds = 0;
       if (!parse_u64(arg, value, seeds)) return false;
       options.verify.seeds = static_cast<std::size_t>(seeds);
+      options.set_seeds = true;
     } else if (std::strcmp(arg, "--start-seed") == 0) {
       if (!parse_u64(arg, value, options.verify.start_seed)) return false;
+      options.set_start_seed = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      options.scenario = value;
     } else if (std::strcmp(arg, "--kinds") == 0) {
       options.kinds_csv = value;
     } else if (std::strcmp(arg, "--cycles") == 0) {
@@ -165,6 +187,60 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     return false;
   }
   return true;
+}
+
+// --scenario mode: sweep the engine-equivalence oracle over one resolved
+// design, one run per seed. The scenario's sim budget shapes the oracle run
+// (horizon, sampling grid, omega); its verify budget sets the seed sweep.
+int run_scenario_verify(const CliOptions& cli) {
+  scenario::ResolvedScenario resolved;
+  try {
+    resolved = scenario::resolve_scenario_argument(cli.scenario);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "mrsc_verify: %s\n", error.what());
+    return 2;
+  }
+  const scenario::VerifyBudget& budget = resolved.scenario.verify;
+  const std::size_t seeds =
+      cli.set_seeds ? cli.verify.seeds
+                    : static_cast<std::size_t>(budget.seeds.value_or(3));
+  const std::uint64_t start_seed =
+      cli.set_start_seed ? cli.verify.start_seed : budget.start_seed.value_or(1);
+
+  verify::EngineEquivalenceOptions oracle;
+  const scenario::SimBudget& sim = resolved.scenario.sim;
+  if (sim.t_end) oracle.t_end = *sim.t_end;
+  if (sim.record) oracle.record_interval = *sim.record;
+  if (sim.omega) oracle.omega = *sim.omega;
+
+  const core::ReactionNetwork& network = *resolved.design.network;
+  std::printf("scenario %s: %zu species, %zu reactions; engine-equivalence "
+              "sweep over seeds [%llu, %llu)\n",
+              resolved.scenario.name.c_str(), network.species_count(),
+              network.reaction_count(),
+              static_cast<unsigned long long>(start_seed),
+              static_cast<unsigned long long>(start_seed + seeds));
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    oracle.seed = start_seed + i;
+    const std::vector<verify::Violation> violations =
+        verify::check_engine_equivalence(network, oracle);
+    if (!violations.empty()) {
+      ++failed;
+      for (const verify::Violation& violation : violations) {
+        std::printf("seed %llu: %s: %s\n",
+                    static_cast<unsigned long long>(oracle.seed),
+                    violation.oracle.c_str(), violation.detail.c_str());
+      }
+    } else if (cli.verbose) {
+      std::printf("seed %llu: ok\n",
+                  static_cast<unsigned long long>(oracle.seed));
+    }
+  }
+  std::printf("%zu/%zu seeds clean: %s\n", seeds - failed, seeds,
+              failed == 0 ? "engines agree"
+                          : "ENGINE DIVERGENCE — see above");
+  return failed == 0 ? 0 : 1;
 }
 
 int regen_golden(const std::string& dir) {
@@ -244,6 +320,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (!cli.regen_golden.empty()) return regen_golden(cli.regen_golden);
+    if (!cli.scenario.empty()) return run_scenario_verify(cli);
 
     const verify::FuzzReport report = verify::run_fuzz(cli.verify);
 

@@ -1,0 +1,288 @@
+// Scenario layer: spec grammar, .mrsc directive parsing, registry
+// resolution, and the CLI-argument resolver.
+//
+// The registry is the single resolver behind every CLI's --scenario flag and
+// the serve cache key, so these tests pin the contracts the rest of the
+// toolchain leans on: canonical spellings are stable, fixed names compile
+// byte-identically to the pre-registry builtin shim, and every validation
+// failure is a std::invalid_argument (the CLIs' exit-2 class).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <variant>
+
+#include "core/io.hpp"
+#include "lint/lint.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "tools/builtin_designs.hpp"
+
+namespace {
+
+using namespace mrsc;
+
+// --- spec grammar -----------------------------------------------------------
+
+TEST(SpecParse, CanonicalizesWhitespaceAndArguments) {
+  EXPECT_EQ(scenario::parse_spec("counter").canonical(), "counter");
+  EXPECT_EQ(scenario::parse_spec("  counter( 2 )  ").canonical(),
+            "counter(2)");
+  EXPECT_EQ(scenario::parse_spec("f(1, 2,3)").canonical(), "f(1,2,3)");
+  const scenario::SpecCall call = scenario::parse_spec("cascade(4)");
+  EXPECT_EQ(call.name, "cascade");
+  ASSERT_EQ(call.args.size(), 1u);
+  EXPECT_EQ(call.args[0], 4u);
+}
+
+TEST(SpecParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(scenario::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("9lives"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("counter("), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("counter()"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("counter(x)"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("counter(-1)"), std::invalid_argument);
+  EXPECT_THROW(scenario::parse_spec("counter(2,)"), std::invalid_argument);
+}
+
+// --- registry validation ----------------------------------------------------
+
+TEST(Registry, KnowsFixedNamesAndGenerators) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  for (const std::string& name : registry.fixed_names()) {
+    EXPECT_TRUE(registry.known(name)) << name;
+    // Fixed names canonicalize to themselves: the serve cache keys minted
+    // before the registry existed stay valid.
+    EXPECT_EQ(registry.canonicalize(name), name);
+  }
+  EXPECT_TRUE(registry.known("counter(2)"));
+  EXPECT_TRUE(registry.known("delay_chain(8)"));
+  EXPECT_FALSE(registry.known("banana"));
+  EXPECT_FALSE(registry.known("counter(99)"));   // out of range
+  EXPECT_FALSE(registry.known("counter(2,3)"));  // wrong arity
+  EXPECT_FALSE(registry.known("counter()"));     // malformed
+  EXPECT_EQ(registry.canonicalize("counter( 2 )"), "counter(2)");
+}
+
+TEST(Registry, ValidationFailuresAreInvalidArgument) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  EXPECT_THROW((void)registry.canonicalize("banana"), std::invalid_argument);
+  EXPECT_THROW((void)registry.canonicalize("counter(0)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.canonicalize("cascade(99)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.canonicalize("counter(2,3)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.resolve("banana"), std::invalid_argument);
+}
+
+TEST(Registry, SmokeCatalogCoversEveryFamily) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  const std::vector<std::string> catalog = registry.smoke_catalog();
+  EXPECT_EQ(catalog.size(), registry.fixed_names().size() +
+                                registry.generators().size());
+  for (const std::string& spec : catalog) {
+    EXPECT_TRUE(registry.known(spec)) << spec;
+  }
+}
+
+// --- resolution -------------------------------------------------------------
+
+TEST(Registry, FixedNamesMatchTheBuiltinShimByteForByte) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  for (const std::string& name : registry.fixed_names()) {
+    const scenario::ResolvedScenario resolved = registry.resolve(name);
+    const tools::BuiltDesign shim = tools::build_design(name, {});
+    EXPECT_EQ(core::serialize_network(*resolved.design.network),
+              core::serialize_network(*shim.network))
+        << name;
+  }
+}
+
+TEST(Registry, ResolutionIsDeterministic) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  const scenario::ResolvedScenario a = registry.resolve("cascade(3)");
+  const scenario::ResolvedScenario b = registry.resolve("cascade(3)");
+  EXPECT_EQ(core::serialize_network(*a.design.network),
+            core::serialize_network(*b.design.network));
+}
+
+TEST(Registry, ArtifactsCarryTheConstructionHandles) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+
+  const scenario::ResolvedScenario counter = registry.resolve("counter(3)");
+  const auto* counter_art =
+      std::get_if<scenario::CounterArtifacts>(&counter.artifacts);
+  ASSERT_NE(counter_art, nullptr);
+  EXPECT_EQ(counter_art->spec.bits, 3u);
+  EXPECT_EQ(counter_art->handles.one_rail.size(), 3u);
+
+  const scenario::ResolvedScenario fsm = registry.resolve("fsm_wide(4)");
+  const auto* fsm_art = std::get_if<scenario::FsmArtifacts>(&fsm.artifacts);
+  ASSERT_NE(fsm_art, nullptr);
+  EXPECT_EQ(fsm_art->spec.num_states, 4u);
+
+  const scenario::ResolvedScenario chain = registry.resolve("delay_chain(2)");
+  const auto* chain_art =
+      std::get_if<scenario::ChainArtifacts>(&chain.artifacts);
+  ASSERT_NE(chain_art, nullptr);
+  EXPECT_EQ(chain_art->spec.elements, 2u);
+
+  const scenario::ResolvedScenario iir = registry.resolve("iir");
+  EXPECT_NE(std::get_if<scenario::CircuitArtifacts>(&iir.artifacts), nullptr);
+}
+
+TEST(Registry, CascadeEarnsOneCompositionCertificatePerBoundary) {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  const scenario::ResolvedScenario resolved = registry.resolve("cascade(4)");
+  ASSERT_NE(resolved.design.composition, nullptr);
+
+  lint::LintInput input = lint::LintInput::from_design(
+      *resolved.design.network, resolved.design.info, "cascade(4)");
+  input.composition = resolved.design.composition.get();
+  const lint::LintReport report = lint::run_lint(input);
+  std::size_t certificates = 0;
+  for (const lint::Diagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.id == "LINT-ISS-00") ++certificates;
+  }
+  // Four declared-interface layers share three boundaries; each boundary
+  // gets exactly one ISS composition certificate.
+  EXPECT_EQ(certificates, 3u);
+}
+
+// --- .mrsc directive format -------------------------------------------------
+
+TEST(ScenarioText, ParsesDesignAndBudgets) {
+  const scenario::Scenario parsed = scenario::parse_scenario_text(
+      "# demo workload\n"
+      "@scenario nightly_counter\n"
+      "@describe counter at width 4 with a tight sim budget\n"
+      "@design counter( 4 )\n"
+      "@sim method=rk4 t_end=12.5 record=0.25 omega=400 seed=7\n"
+      "@lint checks=structure,timescale werror\n"
+      "@verify seeds=5 start_seed=11\n"
+      "@stress design=counter fault=leak intensities=0.001,0.01 trials=2\n");
+  EXPECT_EQ(parsed.name, "nightly_counter");
+  EXPECT_EQ(parsed.design, "counter(4)");  // canonicalized at parse time
+  ASSERT_TRUE(parsed.sim.method.has_value());
+  EXPECT_EQ(*parsed.sim.method, "rk4");
+  EXPECT_DOUBLE_EQ(parsed.sim.t_end.value(), 12.5);
+  EXPECT_DOUBLE_EQ(parsed.sim.record.value(), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.sim.omega.value(), 400.0);
+  EXPECT_EQ(parsed.sim.seed.value(), 7u);
+  ASSERT_EQ(parsed.lint.checks.size(), 2u);
+  EXPECT_EQ(parsed.lint.checks[0], "structure");
+  EXPECT_TRUE(parsed.lint.werror);
+  EXPECT_EQ(parsed.verify.seeds.value(), 5u);
+  EXPECT_EQ(parsed.verify.start_seed.value(), 11u);
+  EXPECT_EQ(parsed.stress.design, "counter");
+  EXPECT_EQ(parsed.stress.fault.value(), "leak");
+  ASSERT_EQ(parsed.stress.intensities.size(), 2u);
+  EXPECT_EQ(parsed.stress.trials.value(), 2u);
+
+  // Budgets ride through resolution untouched; the compiled design is the
+  // registry's counter(4).
+  const scenario::ResolvedScenario resolved =
+      scenario::ScenarioRegistry::global().resolve(parsed);
+  EXPECT_EQ(resolved.scenario.name, "nightly_counter");
+  EXPECT_EQ(resolved.scenario.verify.seeds.value(), 5u);
+  const scenario::ResolvedScenario direct =
+      scenario::ScenarioRegistry::global().resolve("counter(4)");
+  EXPECT_EQ(core::serialize_network(*resolved.design.network),
+            core::serialize_network(*direct.design.network));
+}
+
+TEST(ScenarioText, ParsesInlineNetworks) {
+  const scenario::Scenario parsed = scenario::parse_scenario_text(
+      "@scenario tiny_decay\n"
+      "@network\n"
+      "@rates slow=1 fast=1000\n"
+      "@species A 1\n"
+      "@species B 0\n"
+      "slow : A -> B\n"
+      "@end\n"
+      "@roots A\n"
+      "@sim t_end=3\n");
+  EXPECT_TRUE(parsed.design.empty());
+  EXPECT_FALSE(parsed.network_text.empty());
+
+  const scenario::ResolvedScenario resolved =
+      scenario::ScenarioRegistry::global().resolve(parsed);
+  EXPECT_EQ(resolved.design.network->species_count(), 2u);
+  EXPECT_EQ(resolved.design.network->reaction_count(), 1u);
+  ASSERT_EQ(resolved.design.info.roots.size(), 1u);
+}
+
+TEST(ScenarioText, ErrorsNameTheOffendingLine) {
+  // First directive must be the header.
+  EXPECT_THROW((void)scenario::parse_scenario_text("@design counter\n"),
+               std::invalid_argument);
+  // Unknown directive.
+  EXPECT_THROW((void)scenario::parse_scenario_text(
+                   "@scenario s\n@design counter\n@banana\n"),
+               std::invalid_argument);
+  // Unknown @sim key.
+  EXPECT_THROW((void)scenario::parse_scenario_text(
+                   "@scenario s\n@design counter\n@sim speed=11\n"),
+               std::invalid_argument);
+  // @design and @network are mutually exclusive.
+  EXPECT_THROW((void)scenario::parse_scenario_text(
+                   "@scenario s\n@design counter\n@network\n@end\n"),
+               std::invalid_argument);
+  // A @network block needs its @end.
+  EXPECT_THROW((void)scenario::parse_scenario_text(
+                   "@scenario s\n@network\n@species A 1\n"),
+               std::invalid_argument);
+  // A design spec the registry rejects fails at parse time already.
+  EXPECT_THROW((void)scenario::parse_scenario_text(
+                   "@scenario s\n@design counter(\n"),
+               std::invalid_argument);
+  // No design at all.
+  EXPECT_THROW((void)scenario::parse_scenario_text("@scenario s\n"),
+               std::invalid_argument);
+  try {
+    (void)scenario::parse_scenario_text(
+        "@scenario s\n@design counter\n@sim t_end=-2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+// --- the CLI-argument resolver ----------------------------------------------
+
+TEST(ResolveArgument, ServesRegistrySpecsAndScenarioFiles) {
+  const scenario::ResolvedScenario spec =
+      scenario::resolve_scenario_argument("counter(2)");
+  EXPECT_EQ(spec.scenario.name, "counter(2)");
+
+  const scenario::ResolvedScenario file = scenario::resolve_scenario_argument(
+      std::string(MRSC_SCENARIO_DATA_DIR) + "/smoke_scenario.mrsc");
+  EXPECT_EQ(file.scenario.name, "smoke_counter");
+  EXPECT_EQ(file.scenario.design, "counter(2)");
+  EXPECT_EQ(file.scenario.verify.seeds.value(), 2u);
+}
+
+TEST(ResolveArgument, SeparatesUsageFromRuntimeFailures) {
+  // Unknown registry spec: a usage error (exit 2 in the CLIs).
+  EXPECT_THROW((void)scenario::resolve_scenario_argument("banana"),
+               std::invalid_argument);
+  // Malformed .mrsc content: also usage.
+  EXPECT_THROW((void)scenario::resolve_scenario_argument(
+                   std::string(MRSC_SCENARIO_DATA_DIR) +
+                   "/bad_scenario.mrsc"),
+               std::invalid_argument);
+  // Unreadable path: a runtime failure (exit 1).
+  EXPECT_THROW((void)scenario::resolve_scenario_argument(
+                   "/nonexistent/dir/missing.mrsc"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -192,6 +192,32 @@ TEST(ServeDispatcher, ParseJobRejectsBadRequests) {
                std::invalid_argument);
 }
 
+TEST(ServeDispatcher, ScenarioSpecsAreCanonicalizedInTheKey) {
+  // Two spellings of the same generator call share one cache key.
+  const JobRequest spaced =
+      parse_job(job_json(R"js("kind":"sim","design":"counter( 2 )")js"));
+  const JobRequest tight =
+      parse_job(job_json(R"js("kind":"sim","design":"counter(2)")js"));
+  EXPECT_EQ(canonical_key(spaced), canonical_key(tight));
+  // Fixed names canonicalize to themselves: pre-registry keys are stable.
+  const JobRequest fixed =
+      parse_job(job_json(R"("kind":"sim","design":"counter")"));
+  EXPECT_NE(canonical_key(fixed).find("|design=counter|"),
+            std::string::npos);
+  // Bad specs are parse errors, not run failures.
+  EXPECT_THROW(
+      (void)parse_job(job_json(R"("kind":"sim","design":"banana")")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_job(
+          job_json(R"js("kind":"lint","design":"counter(99)")js")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_job(
+          job_json(R"js("kind":"sim","design":"counter(2,3)")js")),
+      std::invalid_argument);
+}
+
 // ------------------------------------------------- dispatcher directly --
 
 TEST(ServeDispatcher, SimJobIsDeterministic) {
@@ -306,6 +332,31 @@ TEST(ServeServer, ColdCachedAndRestartResponsesAreByteIdentical) {
   const json::Value parsed = json::parse(cold);
   EXPECT_EQ(parsed.get_string("status", ""), "ok");
   EXPECT_EQ(parsed.get_string("kind", ""), "sim");
+}
+
+TEST(ServeServer, ScenarioJobColdCachedAndRestartAreByteIdentical) {
+  constexpr const char* kScenarioRequest =
+      R"js({"op":"job","kind":"sim","design":"counter(2)","t_end":2,"omega":100})js";
+  std::string cold;
+  {
+    ServerFixture fixture;
+    cold = fixture.request_raw(kScenarioRequest);
+    const std::string cached = fixture.request_raw(kScenarioRequest);
+    EXPECT_EQ(cold, cached) << "cache hit must replay the cold bytes";
+    // A differently spelled spec canonicalizes to the same key and replays
+    // the same bytes from the cache.
+    const std::string spaced = fixture.request_raw(
+        R"js({"op":"job","kind":"sim","design":"counter( 2 )","t_end":2,"omega":100})js");
+    EXPECT_EQ(cold, spaced);
+    EXPECT_GE(fixture.stat("cache", "hits"), 2.0);
+    fixture.server->stop();
+  }
+  ServerFixture restarted;
+  EXPECT_EQ(restarted.request_raw(kScenarioRequest), cold);
+  const json::Value parsed = json::parse(cold);
+  EXPECT_EQ(parsed.get_string("status", ""), "ok");
+  EXPECT_NE(parsed.get_string("key", "").find("design=counter(2)"),
+            std::string::npos);
 }
 
 TEST(ServeServer, ChangedParametersMissTheCache) {
