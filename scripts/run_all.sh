@@ -74,6 +74,15 @@ bash tests/serve_roundtrip.sh \
   ./build/src/tools/mrsc_serve ./build/src/tools/mrsc_loadgen \
   >> test_output.txt 2>&1 || note_failure "serve round trip"
 
+# The distributor under fire: 3 shards, 2 behind seeded fault-injecting
+# proxies, a mid-run SIGTERM + restart, a drain — every merged report
+# byte-compared against the single-shard golden run (tests/fleet_chaos.sh).
+echo "########## fleet chaos round trip ##########" | tee -a test_output.txt
+bash tests/fleet_chaos.sh \
+  ./build/src/tools/mrsc_serve ./build/src/tools/mrsc_fleet \
+  ./build/src/tools/mrsc_chaosproxy \
+  >> test_output.txt 2>&1 || note_failure "fleet chaos round trip"
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

@@ -1,0 +1,73 @@
+// Non-blocking request/response transport for the distributor.
+//
+// The fleet needs to hold several requests in flight at once from a single
+// worker thread (a primary plus its hedge) and take whichever answers
+// first. A PendingRequest is one request on its own connection, driven
+// through a tiny state machine: blocking connect + send (cheap against a
+// live listener, fails fast against a dead one), then non-blocking reads of
+// the 4-byte length header and the payload. wait_any() multiplexes any
+// number of them with poll(2).
+//
+// Connections are deliberately not reused across attempts: a fresh socket
+// per attempt means a half-dead peer can never poison a retry, and the
+// determinism contract lives entirely in the payloads, so the only cost is
+// a localhost handshake.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace mrsc::fleet {
+
+/// One shard address.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// One request in flight on its own connection.
+class PendingRequest {
+ public:
+  enum class State : std::uint8_t { kPending, kDone, kFailed };
+
+  /// Connects, sends `request`, and switches the socket to non-blocking
+  /// reads. A refused/failed connect or torn send lands in kFailed rather
+  /// than throwing — callers treat it like any other transport failure.
+  PendingRequest(const Endpoint& endpoint, const std::string& request);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+
+  /// Non-blocking read step; call when poll reports the fd readable (or
+  /// speculatively — it returns on EAGAIN). Moves kPending → kDone once a
+  /// full frame has arrived, → kFailed on EOF mid-frame, a socket error,
+  /// or a garbage/oversized length prefix.
+  void pump();
+
+  /// The response payload; only meaningful in kDone.
+  [[nodiscard]] const std::string& response() const { return response_; }
+  /// The failure description; only meaningful in kFailed.
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(std::string why);
+
+  serve::Socket socket_;
+  State state_ = State::kPending;
+  std::string buffer_;  ///< raw bytes received so far (header + payload)
+  std::uint32_t expected_ = 0;
+  bool have_header_ = false;
+  std::string response_;
+  std::string error_;
+};
+
+/// Blocks until at least one still-pending request becomes readable (then
+/// pumps every readable one) or `timeout_ms` elapses. No-op when nothing
+/// is pending.
+void wait_any(const std::vector<PendingRequest*>& requests,
+              double timeout_ms);
+
+}  // namespace mrsc::fleet

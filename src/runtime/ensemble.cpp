@@ -21,6 +21,29 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
 }
 
+SpeciesStats reduce_species(std::string name, std::vector<double> values) {
+  SpeciesStats stats;
+  stats.name = std::move(name);
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end());
+  stats.min = values.front();
+  stats.max = values.back();
+  stats.q05 = quantile_sorted(values, 0.05);
+  stats.q50 = quantile_sorted(values, 0.50);
+  stats.q95 = quantile_sorted(values, 0.95);
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (const double v : values) {
+      sq += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
 std::vector<SimJob> make_ensemble_jobs(const core::ReactionNetwork& network,
                                        const sim::SsaOptions& ssa,
                                        std::size_t replicates,
@@ -84,32 +107,16 @@ EnsembleResult run_ssa_ensemble(const core::ReactionNetwork& network,
   std::vector<double> values;
   values.reserve(result.ok);
   for (std::size_t s = 0; s < species; ++s) {
-    SpeciesStats& stats = result.final_stats[s];
-    stats.name = network.species_name(
-        core::SpeciesId{static_cast<core::SpeciesId::underlying_type>(s)});
     values.clear();
     for (const JobResult& job : result.replicates) {
       if (job.status == JobStatus::kOk && s < job.final_state.size()) {
         values.push_back(job.final_state[s]);
       }
     }
-    if (values.empty()) continue;
-    std::sort(values.begin(), values.end());
-    stats.min = values.front();
-    stats.max = values.back();
-    stats.q05 = quantile_sorted(values, 0.05);
-    stats.q50 = quantile_sorted(values, 0.50);
-    stats.q95 = quantile_sorted(values, 0.95);
-    double sum = 0.0;
-    for (const double v : values) sum += v;
-    stats.mean = sum / static_cast<double>(values.size());
-    if (values.size() > 1) {
-      double sq = 0.0;
-      for (const double v : values) {
-        sq += (v - stats.mean) * (v - stats.mean);
-      }
-      stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
-    }
+    result.final_stats[s] = reduce_species(
+        network.species_name(core::SpeciesId{
+            static_cast<core::SpeciesId::underlying_type>(s)}),
+        values);
   }
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)

@@ -64,4 +64,12 @@ struct EnsembleResult {
 [[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
                                      double q);
 
+/// Reduces one species' final values (any order; sorted internally) to the
+/// ensemble statistics. This is THE reduction — run_ssa_ensemble and the
+/// fleet merge (src/fleet) both call it, which is what makes a sharded
+/// ensemble bitwise-identical to a local one: the merge re-assembles the
+/// same value multiset and hands it to the same floating-point expression.
+[[nodiscard]] SpeciesStats reduce_species(std::string name,
+                                          std::vector<double> values);
+
 }  // namespace mrsc::runtime

@@ -252,8 +252,46 @@ std::string overload_response() {
   return R"({"status":"rejected","reason":"overload"})";
 }
 
+std::string draining_response() {
+  return R"({"status":"rejected","reason":"draining"})";
+}
+
 std::string error_response(const std::string& message) {
   return "{\"status\":\"error\",\"error\":" + quote(message) + "}";
+}
+
+std::string catalog_response() {
+  const scenario::ScenarioRegistry& registry =
+      scenario::ScenarioRegistry::global();
+  std::string out = R"({"status":"ok","op":"catalog","fixed":[)";
+  bool first = true;
+  for (const std::string& name : registry.fixed_names()) {
+    if (!first) out += ',';
+    first = false;
+    out += quote(name);
+  }
+  out += "],\"generators\":[";
+  first = true;
+  for (const scenario::GeneratorInfo& info : registry.generators()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + quote(info.name);
+    out += ",\"parameter\":" + quote(info.parameter);
+    out += ",\"min\":" + std::to_string(info.min_arg);
+    out += ",\"max\":" + std::to_string(info.max_arg);
+    out += ",\"smoke\":" + std::to_string(info.smoke_arg);
+    out += ",\"summary\":" + quote(info.summary);
+    out += '}';
+  }
+  out += "],\"smoke\":[";
+  first = true;
+  for (const std::string& spec : registry.smoke_catalog()) {
+    if (!first) out += ',';
+    first = false;
+    out += quote(spec);
+  }
+  out += "]}";
+  return out;
 }
 
 namespace {

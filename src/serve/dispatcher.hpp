@@ -113,7 +113,17 @@ struct DispatchResult {
 /// Renders the deterministic "rejected: overload" response.
 [[nodiscard]] std::string overload_response();
 
+/// Renders the deterministic "rejected: draining" response (the `drain` op
+/// flipped the shard into drain mode).
+[[nodiscard]] std::string draining_response();
+
 /// Renders a deterministic error response.
 [[nodiscard]] std::string error_response(const std::string& message);
+
+/// Renders the `catalog` op response: every registry design reachable over
+/// the wire — the fixed names, the parametric generators with their ranges,
+/// and the smoke catalog — so a fleet or load generator can discover the
+/// corpus without a local binary. Deterministic (pure registry contents).
+[[nodiscard]] std::string catalog_response();
 
 }  // namespace mrsc::serve

@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace mrsc::serve {
 
@@ -86,6 +89,22 @@ Socket connect_to(const std::string& host, std::uint16_t port) {
   return sock;
 }
 
+Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                          std::size_t attempts, double initial_backoff_ms) {
+  constexpr double kBackoffCapMs = 400.0;
+  double backoff_ms = initial_backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return connect_to(host, port);
+    } catch (const std::runtime_error&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2.0, kBackoffCapMs);
+  }
+}
+
 Socket accept_on(int listener_fd) {
   while (true) {
     const int fd = ::accept(listener_fd, nullptr, nullptr);
@@ -101,8 +120,8 @@ Socket accept_on(int listener_fd) {
 
 void write_frame(int fd, const std::string& payload) {
   if (payload.size() > kMaxFrameBytes) {
-    throw std::runtime_error("frame too large (" +
-                             std::to_string(payload.size()) + " bytes)");
+    throw ProtocolError("frame too large (" +
+                        std::to_string(payload.size()) + " bytes)");
   }
   const auto length = static_cast<std::uint32_t>(payload.size());
   unsigned char header[4] = {
@@ -119,7 +138,7 @@ void write_frame(int fd, const std::string& payload) {
         ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("send");
+      throw ProtocolError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -135,11 +154,11 @@ bool read_exact(int fd, char* buffer, std::size_t count, bool eof_ok) {
     const ssize_t n = ::recv(fd, buffer + got, count - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("recv");
+      throw ProtocolError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) {
       if (got == 0 && eof_ok) return false;
-      throw std::runtime_error("connection closed mid-frame");
+      throw ProtocolError("connection closed mid-frame");
     }
     got += static_cast<std::size_t>(n);
   }
@@ -160,8 +179,8 @@ bool read_frame(int fd, std::string& payload) {
        << 8) |
       static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
   if (length > kMaxFrameBytes) {
-    throw std::runtime_error("oversized frame (" + std::to_string(length) +
-                             " bytes)");
+    throw ProtocolError("oversized frame (" + std::to_string(length) +
+                        " bytes)");
   }
   payload.resize(length);
   if (length != 0) read_exact(fd, payload.data(), length, /*eof_ok=*/false);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "serve/json.hpp"
@@ -23,6 +24,16 @@ namespace mrsc::serve {
 /// report for the biggest builtin design is ~10 KiB; 16 MiB is headroom,
 /// not a target).
 constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// A framing violation on one connection: a peer that closed mid-frame, an
+/// oversized or garbage length prefix, or a send into a vanished peer. The
+/// server catches this per connection (drops that connection, counts it in
+/// `requests.connection_errors`, keeps accepting); it must never tear down
+/// the accept loop.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// RAII socket fd. Closes on destruction; movable, not copyable.
 class Socket {
@@ -54,6 +65,17 @@ class Socket {
 /// Blocking connect. Throws std::runtime_error on failure.
 [[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
 
+/// connect_to with bounded retries: attempt k sleeps
+/// min(initial_backoff_ms * 2^k, 400 ms) before trying again. Absorbs the
+/// startup race where a client launches the instant a server's --port-file
+/// appears but before its listener accepts (loaded CI runners); a server
+/// that is genuinely absent still fails, after roughly two seconds at the
+/// defaults. Throws the final connect error.
+[[nodiscard]] Socket connect_with_retry(const std::string& host,
+                                        std::uint16_t port,
+                                        std::size_t attempts = 8,
+                                        double initial_backoff_ms = 25.0);
+
 /// Blocking accept. Returns an invalid Socket once the listener has been
 /// shut down or closed — the server's accept loop treats that as "stop".
 [[nodiscard]] Socket accept_on(int listener_fd);
@@ -71,6 +93,9 @@ class Client {
  public:
   Client(const std::string& host, std::uint16_t port)
       : socket_(connect_to(host, port)) {}
+
+  /// Wraps an already-connected socket (e.g. from connect_with_retry).
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
 
   /// Sends `payload` and returns the raw response bytes (the byte-identical
   /// contract is asserted on this form).

@@ -64,8 +64,10 @@ void Server::stop() {
     for (runtime::BatchRunner* runner : runners_) runner->cancel();
   }
   sleep_cv_.notify_all();
+  // shutdown_both() wakes the blocked accept without touching fd_; close()
+  // must wait until the accept thread is joined because accept_loop reads
+  // listener_.fd() concurrently.
   listener_.shutdown_both();
-  listener_.close();
   {
     std::lock_guard lock(connections_mutex_);
     for (const auto& connection : connections_) {
@@ -73,6 +75,7 @@ void Server::stop() {
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   {
     std::lock_guard lock(connections_mutex_);
     for (const auto& connection : connections_) {
@@ -121,8 +124,17 @@ void Server::serve_connection(Connection& connection) {
     while (!stopping_.load() && read_frame(fd, request)) {
       write_frame(fd, handle_request(request));
     }
+  } catch (const ProtocolError&) {
+    // A framing violation — truncated frame, garbage length prefix, peer
+    // close mid-frame, peer vanished mid-response — is a clean
+    // per-connection error: count it, drop this connection, and leave the
+    // accept loop (and every other connection) untouched. During shutdown
+    // the torn IO is expected, not a peer fault.
+    if (!stopping_.load()) stats_.record_connection_error();
   } catch (const std::exception&) {
-    // Torn frame / peer reset / shutdown during IO: drop the connection.
+    // Non-protocol failure (allocation, handler bug): likewise confined to
+    // this connection.
+    if (!stopping_.load()) stats_.record_connection_error();
   }
   connection.done.store(true);
 }
@@ -145,9 +157,14 @@ std::string Server::handle_request(const std::string& payload) {
   if (op == "stats") return stats_payload();
   if (op == "health") return health_payload();
   if (op == "ping") return R"({"status":"ok","op":"ping"})";
+  if (op == "catalog") return catalog_response();
+  if (op == "drain") {
+    drain();
+    return R"({"status":"ok","op":"drain","draining":true})";
+  }
   stats_.record_protocol_error();
   return error_response("unknown op '" + op +
-                        "' (expected job|stats|health|ping)");
+                        "' (expected job|stats|health|ping|catalog|drain)");
 }
 
 std::string Server::handle_job(const json::Value& request) {
@@ -160,6 +177,14 @@ std::string Server::handle_job(const json::Value& request) {
     return error_response(error.what());
   }
   const std::string kind_name = to_string(job.kind);
+
+  // A draining shard finishes what it admitted but takes nothing new; the
+  // rejection is deterministic so fleet clients can treat it exactly like
+  // overload backpressure and route elsewhere.
+  if (draining_.load()) {
+    stats_.record_drain_rejection();
+    return draining_response();
+  }
 
   // Sleep jobs exist to occupy capacity; caching one would answer from the
   // cache in microseconds and defeat the test it serves.
@@ -214,7 +239,11 @@ std::string Server::handle_job(const json::Value& request) {
 
 std::string Server::health_payload() const {
   std::string out = R"({"status":"ok","accepting":)";
-  out += running_.load() && !stopping_.load() ? "true" : "false";
+  out += running_.load() && !stopping_.load() && !draining_.load() ? "true"
+                                                                   : "false";
+  out += ",\"draining\":";
+  out += draining_.load() ? "true" : "false";
+  out += ",\"shard_id\":" + json::quote(options_.shard_id);
   out += ",\"uptime_seconds\":" +
          json::number_to_string(seconds_since(started_at_));
   out += '}';
@@ -224,6 +253,9 @@ std::string Server::health_payload() const {
 std::string Server::stats_payload() const {
   const CacheStats cache = cache_.stats();
   std::string out = R"({"status":"ok")";
+  out += ",\"shard_id\":" + json::quote(options_.shard_id);
+  out += ",\"draining\":";
+  out += draining_.load() ? "true" : "false";
   out += ",\"uptime_seconds\":" +
          json::number_to_string(seconds_since(started_at_));
   out += ",\"queue\":{";

@@ -44,6 +44,10 @@ struct ServerOptions {
   std::size_t cache_entries = 256;
   std::size_t cache_bytes = 64u << 20;
   std::size_t max_connections = 64;
+  /// Operator-assigned shard name, echoed by health/stats so a fleet
+  /// operator can tell which process answered. Never part of any job
+  /// payload (the byte-identity contract forbids it).
+  std::string shard_id;
 };
 
 class Server {
@@ -61,6 +65,14 @@ class Server {
   /// Cooperative full shutdown; idempotent, callable from any thread
   /// (the CLI calls it from a signal-watcher thread).
   void stop();
+
+  /// Enters drain mode (also reachable over the wire via the `drain` op):
+  /// subsequent job requests are answered with the deterministic
+  /// {"status":"rejected","reason":"draining"} while in-flight jobs finish
+  /// and stats/health/ping/catalog stay available. One-way; a drained
+  /// shard is restarted, not resumed.
+  void drain() { draining_.store(true); }
+  [[nodiscard]] bool draining() const { return draining_.load(); }
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool running() const { return running_.load(); }
@@ -94,6 +106,7 @@ class Server {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point started_at_{};
 
   std::mutex connections_mutex_;

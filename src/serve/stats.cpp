@@ -91,6 +91,17 @@ void ServerStats::record_protocol_error() {
   ++protocol_errors_;
 }
 
+void ServerStats::record_connection_error() {
+  std::lock_guard lock(mutex_);
+  ++connection_errors_;
+}
+
+void ServerStats::record_drain_rejection() {
+  std::lock_guard lock(mutex_);
+  ++received_;
+  ++drain_rejected_;
+}
+
 std::string ServerStats::to_json() const {
   std::lock_guard lock(mutex_);
   std::uint64_t ok = 0;
@@ -104,7 +115,9 @@ std::string ServerStats::to_json() const {
   out += ",\"ok\":" + std::to_string(ok);
   out += ",\"failed\":" + std::to_string(failed);
   out += ",\"overload_rejected\":" + std::to_string(overload_rejected_);
+  out += ",\"drain_rejected\":" + std::to_string(drain_rejected_);
   out += ",\"protocol_errors\":" + std::to_string(protocol_errors_);
+  out += ",\"connection_errors\":" + std::to_string(connection_errors_);
   out += "},\"latency\":{";
   bool first = true;
   for (const KindStats& entry : kinds_) {

@@ -61,6 +61,13 @@ class ServerStats {
                   double latency_seconds);
   void record_overload();
   void record_protocol_error();
+  /// A framing violation (torn frame, garbage length prefix, vanished peer)
+  /// that cost one connection but never a request: distinct from
+  /// protocol_errors, which count well-framed but invalid payloads.
+  void record_connection_error();
+  /// A job request rejected because the server is draining (see the `drain`
+  /// op in docs/SERVE.md).
+  void record_drain_rejection();
 
   /// Renders the "requests" / "latency" sections of the stats response
   /// (deterministic field order; values obviously run-dependent).
@@ -71,7 +78,9 @@ class ServerStats {
   std::vector<KindStats> kinds_;
   std::uint64_t received_ = 0;
   std::uint64_t overload_rejected_ = 0;
+  std::uint64_t drain_rejected_ = 0;
   std::uint64_t protocol_errors_ = 0;
+  std::uint64_t connection_errors_ = 0;
 };
 
 }  // namespace mrsc::serve

@@ -21,7 +21,9 @@
 //                      ("counter", "cascade(3)"); validated and
 //                      canonicalized through the scenario registry before
 //                      any request is sent (default counter,
-//                      moving_average,delay)
+//                      moving_average,delay). The special value @catalog
+//                      asks the server for its smoke catalog over the wire
+//                      ({"op":"catalog"}) and uses that as the design list.
 //   --kinds A,B        corpus job kinds: sim|lint  (default sim,lint)
 //   --corpus FILE      replay a scenario corpus file instead of the
 //                      designs x kinds grid: one "<kind> <spec>" pair per
@@ -37,6 +39,11 @@
 // resubmits byte-identical requests and must produce server cache hits;
 // the final report embeds the server's stats payload for exactly that
 // kind of assertion.
+//
+// Connections are opened with bounded retry (serve::connect_with_retry):
+// scripts that launch the loadgen the instant the server's --port-file
+// appears no longer race the listener coming up, while a genuinely absent
+// server still fails within a couple of seconds.
 //
 // Exit codes:
 //   0  every request answered ok
@@ -276,6 +283,32 @@ struct Tally {
   std::vector<double> latencies_ms;
 };
 
+/// Resolves `--designs @catalog`: asks the server for its smoke catalog
+/// over the wire so the corpus can be discovered without consulting the
+/// local registry. Throws on transport failure or a malformed response.
+std::vector<std::string> fetch_catalog_designs(const CliOptions& options) {
+  serve::Client client(serve::connect_with_retry(
+      options.host, static_cast<std::uint16_t>(options.port)));
+  const serve::json::Value response = client.request(R"({"op":"catalog"})");
+  if (response.get_string("status", "") != "ok") {
+    throw std::runtime_error("catalog op failed: " + response.dump());
+  }
+  const serve::json::Value* smoke = response.find("smoke");
+  if (smoke == nullptr ||
+      smoke->type() != serve::json::Value::Type::kArray) {
+    throw std::runtime_error("catalog response has no smoke array");
+  }
+  std::vector<std::string> designs;
+  designs.reserve(smoke->as_array().size());
+  for (const serve::json::Value& spec : smoke->as_array()) {
+    designs.push_back(spec.as_string());
+  }
+  if (designs.empty()) {
+    throw std::runtime_error("catalog smoke list is empty");
+  }
+  return designs;
+}
+
 double percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -295,6 +328,15 @@ int main(int argc, char** argv) {
   // grid), then validate and canonicalize every spec through the registry
   // before a single request leaves: a typo'd design is bad usage here, not
   // a stream of server-side error responses.
+  if (cli.designs.size() == 1 && cli.designs[0] == "@catalog") {
+    try {
+      cli.designs = fetch_catalog_designs(cli);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "mrsc_loadgen: %s\n", error.what());
+      return 1;
+    }
+  }
+
   std::vector<CorpusEntry> entries;
   if (!cli.corpus_file.empty()) {
     try {
@@ -341,7 +383,8 @@ int main(int argc, char** argv) {
     serve::json::Value parsed;
     Tally local;
     try {
-      serve::Client client(cli.host, static_cast<std::uint16_t>(cli.port));
+      serve::Client client(serve::connect_with_retry(
+          cli.host, static_cast<std::uint16_t>(cli.port)));
       while (true) {
         const std::uint64_t i = next_index.fetch_add(1);
         if (i >= total_requests) break;
@@ -400,7 +443,8 @@ int main(int argc, char** argv) {
   // cache hit/miss counters, and server-side latency histograms.
   std::string server_stats = "null";
   try {
-    serve::Client client(cli.host, static_cast<std::uint16_t>(cli.port));
+    serve::Client client(serve::connect_with_retry(
+        cli.host, static_cast<std::uint16_t>(cli.port)));
     server_stats = client.request_raw(R"({"op":"stats"})");
   } catch (const std::exception& error) {
     std::fprintf(stderr, "mrsc_loadgen: stats fetch failed: %s\n",

@@ -13,6 +13,8 @@
 //   --cache N          result-cache capacity, entries; 0 disables (default 256)
 //   --cache-mb MB      result-cache capacity, payload megabytes (default 64)
 //   --max-conns N      concurrent client connections (default 64)
+//   --shard-id S       operator-assigned shard name echoed by the
+//                      stats/health ops (fleet deployments; default "")
 //
 // The server runs until SIGTERM/SIGINT, then shuts down cooperatively
 // (in-flight jobs are cancelled at their next poll point) and prints the
@@ -49,7 +51,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: mrsc_serve [--host A] [--port P] [--port-file PATH]\n"
                "       [--workers N] [--queue N] [--cache N] [--cache-mb MB]\n"
-               "       [--max-conns N]\n");
+               "       [--max-conns N] [--shard-id S]\n");
 }
 
 bool parse_u64(const char* flag, const char* text, std::uint64_t& out) {
@@ -96,6 +98,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     } else if (std::strcmp(arg, "--max-conns") == 0) {
       if (!parse_u64(arg, value, number) || number == 0) return false;
       options.server.max_connections = static_cast<std::size_t>(number);
+    } else if (std::strcmp(arg, "--shard-id") == 0) {
+      options.server.shard_id = value;
     } else {
       std::fprintf(stderr, "mrsc_serve: unknown option %s\n", arg);
       usage();

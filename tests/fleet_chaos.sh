@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Chaos round trip for the distributor fleet, used by ctest and CI:
+#   1. start three mrsc_serve shards on ephemeral ports,
+#   2. take a golden ensemble + sweep report from a single shard,
+#   3. re-run across all three shards with two of them behind
+#      fault-injecting proxies (drops, delays, mid-frame truncations) and
+#      demand byte-identical reports,
+#   4. SIGTERM one shard mid-run, restart it on a fixed port, and demand
+#      the report still matches the golden bytes,
+#   5. drain one shard and demand the remaining capacity reproduces the
+#      golden bytes once more.
+#
+# Usage: fleet_chaos.sh <mrsc_serve> <mrsc_fleet> <mrsc_chaosproxy>
+set -u
+
+SERVE_BIN=${1:?usage: fleet_chaos.sh <mrsc_serve> <mrsc_fleet> <mrsc_chaosproxy>}
+FLEET_BIN=${2:?usage: fleet_chaos.sh <mrsc_serve> <mrsc_fleet> <mrsc_chaosproxy>}
+PROXY_BIN=${3:?usage: fleet_chaos.sh <mrsc_serve> <mrsc_fleet> <mrsc_chaosproxy>}
+
+WORK_DIR=$(mktemp -d)
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
+
+fail() {
+  echo "FAIL: $1"
+  shift
+  for log in "$@"; do
+    echo "--- $log ---"
+    cat "$log" 2>/dev/null
+  done
+  exit 1
+}
+
+wait_for_port_file() {
+  local file=$1 pid=$2 what=$3
+  for _ in $(seq 1 100); do
+    [ -s "$file" ] && return 0
+    kill -0 "$pid" 2>/dev/null || fail "$what died on startup" "$WORK_DIR"/*.log
+    sleep 0.1
+  done
+  fail "$what never wrote its port file" "$WORK_DIR"/*.log
+}
+
+start_shard() {
+  local name=$1
+  shift
+  "$SERVE_BIN" --port-file "$WORK_DIR/$name.port" --workers 2 \
+    --shard-id "$name" "$@" >"$WORK_DIR/$name.log" 2>&1 &
+  local pid=$!
+  PIDS+=("$pid")
+  wait_for_port_file "$WORK_DIR/$name.port" "$pid" "shard $name"
+  eval "${name^^}_PID=$pid"
+  eval "${name^^}_PORT=\$(cat \"$WORK_DIR/$name.port\")"
+}
+
+start_shard a
+start_shard b
+start_shard c
+
+# Faulty proxies in front of shards b and c: seeded schedules, so a rerun of
+# this script replays the same faults.
+"$PROXY_BIN" --upstream-port "$B_PORT" --port-file "$WORK_DIR/pb.port" \
+  --seed 11 --drop 0.2 --truncate 0.2 --delay 0.1 --delay-ms 10 \
+  >"$WORK_DIR/pb.log" 2>&1 &
+PB_PID=$!
+PIDS+=("$PB_PID")
+"$PROXY_BIN" --upstream-port "$C_PORT" --port-file "$WORK_DIR/pc.port" \
+  --seed 12 --drop 0.2 --truncate 0.2 --delay 0.1 --delay-ms 10 \
+  >"$WORK_DIR/pc.log" 2>&1 &
+PC_PID=$!
+PIDS+=("$PC_PID")
+wait_for_port_file "$WORK_DIR/pb.port" "$PB_PID" "proxy pb"
+wait_for_port_file "$WORK_DIR/pc.port" "$PC_PID" "proxy pc"
+PB_PORT=$(cat "$WORK_DIR/pb.port")
+PC_PORT=$(cat "$WORK_DIR/pc.port")
+
+ENSEMBLE_ARGS=(--mode ensemble --design counter --replicates 16 --seed 7
+  --t-end 2 --omega 100 --attempts 10 --backoff-base-ms 5 --backoff-cap-ms 50)
+SWEEP_ARGS=(--mode sweep --design "cascade(3)" --omegas 50,100,200 --seed 3
+  --t-end 2 --attempts 10 --backoff-base-ms 5 --backoff-cap-ms 50)
+
+# --- golden single-shard reports ------------------------------------------
+"$FLEET_BIN" --shards "$A_PORT" "${ENSEMBLE_ARGS[@]}" \
+  --json "$WORK_DIR/golden_ensemble.json" >"$WORK_DIR/fleet1.log" 2>&1 \
+  || fail "single-shard ensemble run failed" "$WORK_DIR/fleet1.log" "$WORK_DIR/a.log"
+"$FLEET_BIN" --shards "$A_PORT" "${SWEEP_ARGS[@]}" \
+  --json "$WORK_DIR/golden_sweep.json" >>"$WORK_DIR/fleet1.log" 2>&1 \
+  || fail "single-shard sweep run failed" "$WORK_DIR/fleet1.log" "$WORK_DIR/a.log"
+
+# --- 3 shards, 2 behind chaos proxies -------------------------------------
+"$FLEET_BIN" --shards "$A_PORT,$PB_PORT,$PC_PORT" "${ENSEMBLE_ARGS[@]}" \
+  --json "$WORK_DIR/chaos_ensemble.json" >"$WORK_DIR/fleet3.log" 2>&1 \
+  || fail "chaos ensemble run failed" "$WORK_DIR/fleet3.log" "$WORK_DIR"/p?.log
+cmp "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/chaos_ensemble.json" \
+  || fail "ensemble bytes diverged under chaos" \
+       "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/chaos_ensemble.json"
+
+"$FLEET_BIN" --shards "$A_PORT,$PB_PORT,$PC_PORT" "${SWEEP_ARGS[@]}" \
+  --json "$WORK_DIR/chaos_sweep.json" >>"$WORK_DIR/fleet3.log" 2>&1 \
+  || fail "chaos sweep run failed" "$WORK_DIR/fleet3.log" "$WORK_DIR"/p?.log
+cmp "$WORK_DIR/golden_sweep.json" "$WORK_DIR/chaos_sweep.json" \
+  || fail "sweep bytes diverged under chaos" \
+       "$WORK_DIR/golden_sweep.json" "$WORK_DIR/chaos_sweep.json"
+
+# --- kill one shard mid-run, restart it on a fixed port --------------------
+(sleep 0.3; kill -TERM "$C_PID" 2>/dev/null) &
+KILLER_PID=$!
+PIDS+=("$KILLER_PID")
+"$FLEET_BIN" --shards "$A_PORT,$C_PORT" "${ENSEMBLE_ARGS[@]}" \
+  --json "$WORK_DIR/kill_ensemble.json" >"$WORK_DIR/fleet_kill.log" 2>&1 \
+  || fail "ensemble run with mid-run shard kill failed" \
+       "$WORK_DIR/fleet_kill.log" "$WORK_DIR/c.log"
+wait "$KILLER_PID" 2>/dev/null
+wait "$C_PID" 2>/dev/null  # the port must be released before the restart
+cmp "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/kill_ensemble.json" \
+  || fail "ensemble bytes diverged across a shard kill" \
+       "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/kill_ensemble.json"
+
+# Restart shard c on its old (now free) port: the fleet needs no reconfig.
+"$SERVE_BIN" --port "$C_PORT" --port-file "$WORK_DIR/c2.port" --workers 2 \
+  --shard-id c2 >"$WORK_DIR/c2.log" 2>&1 &
+C2_PID=$!
+PIDS+=("$C2_PID")
+wait_for_port_file "$WORK_DIR/c2.port" "$C2_PID" "restarted shard c"
+"$FLEET_BIN" --shards "$A_PORT,$C_PORT" "${ENSEMBLE_ARGS[@]}" \
+  --json "$WORK_DIR/restart_ensemble.json" >"$WORK_DIR/fleet_restart.log" 2>&1 \
+  || fail "ensemble run after shard restart failed" \
+       "$WORK_DIR/fleet_restart.log" "$WORK_DIR/c2.log"
+cmp "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/restart_ensemble.json" \
+  || fail "ensemble bytes diverged after shard restart" \
+       "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/restart_ensemble.json"
+
+# --- drain one shard; remaining capacity must reproduce the bytes ----------
+"$FLEET_BIN" --shards "$B_PORT" --mode drain --json "$WORK_DIR/drain.json" \
+  >"$WORK_DIR/fleet_drain.log" 2>&1 \
+  || fail "drain failed" "$WORK_DIR/fleet_drain.log" "$WORK_DIR/b.log"
+grep -q '"draining":true' "$WORK_DIR/drain.json" \
+  || fail "drain did not flip the shard" "$WORK_DIR/drain.json"
+"$FLEET_BIN" --shards "$A_PORT,$B_PORT" "${ENSEMBLE_ARGS[@]}" \
+  --json "$WORK_DIR/drained_ensemble.json" >>"$WORK_DIR/fleet_drain.log" 2>&1 \
+  || fail "ensemble run with a drained shard failed" \
+       "$WORK_DIR/fleet_drain.log" "$WORK_DIR/b.log"
+cmp "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/drained_ensemble.json" \
+  || fail "ensemble bytes diverged with a drained shard" \
+       "$WORK_DIR/golden_ensemble.json" "$WORK_DIR/drained_ensemble.json"
+
+echo "PASS: fleet chaos round trip clean (shards $A_PORT/$B_PORT/$C_PORT, proxies $PB_PORT/$PC_PORT)"
+exit 0

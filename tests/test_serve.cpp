@@ -4,7 +4,11 @@
 // overload rejection, concurrent submitters, cooperative shutdown).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -463,6 +467,108 @@ TEST(ServeServer, ConcurrentSubmittersNeverDeadlock) {
   EXPECT_EQ(ok.load() + overload.load(), kThreads * kRequestsPerThread);
   EXPECT_EQ(other.load(), 0);
   EXPECT_GE(ok.load(), kThreads);  // retries aside, plenty must succeed
+}
+
+// --------------------------------------------- framing-fault regressions --
+//
+// A peer that violates the framing — closes mid-header, closes mid-payload,
+// or sends a garbage length prefix — must cost exactly its own connection:
+// counted in requests.connection_errors, never tearing down the accept
+// loop. Each case is followed by a successful ping on a fresh connection.
+
+void send_raw_and_close(std::uint16_t port, const std::string& bytes) {
+  const Socket socket = connect_to("127.0.0.1", port);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(socket.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  // Socket closes on scope exit: the server sees EOF wherever we left it.
+}
+
+double wait_for_stat_at_least(ServerFixture& fixture, const char* section,
+                              const char* field, double target) {
+  // Connection teardown is handled on the connection's own thread; give the
+  // counter a moment to land.
+  double value = -1.0;
+  for (int i = 0; i < 200; ++i) {
+    value = fixture.stat(section, field);
+    if (value >= target) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return value;
+}
+
+TEST(ServeServer, TruncatedFramesAreCleanPerConnectionErrors) {
+  ServerFixture fixture;
+
+  // Case 1: half a length header, then close.
+  send_raw_and_close(fixture.server->port(), std::string("\x00\x00", 2));
+  // Case 2: a full header promising 100 bytes, 10 delivered, then close.
+  std::string mid_payload("\x00\x00\x00\x64", 4);
+  mid_payload += "0123456789";
+  send_raw_and_close(fixture.server->port(), mid_payload);
+  // Case 3: a garbage length prefix far past kMaxFrameBytes.
+  send_raw_and_close(fixture.server->port(),
+                     std::string("\xFF\xFF\xFF\xFF", 4));
+
+  EXPECT_GE(wait_for_stat_at_least(fixture, "requests", "connection_errors",
+                                   3.0),
+            3.0);
+  // The accept loop survived all three: a fresh connection works.
+  EXPECT_EQ(fixture.request_raw(R"({"op":"ping"})"),
+            R"({"status":"ok","op":"ping"})");
+  EXPECT_TRUE(fixture.request(R"({"op":"health"})")
+                  .get_bool("accepting", false));
+}
+
+// ------------------------------------------------------- catalog / drain --
+
+TEST(ServeServer, CatalogOpMatchesTheLocalRegistryByteForByte) {
+  ServerFixture fixture;
+  const std::string over_the_wire = fixture.request_raw(R"({"op":"catalog"})");
+  EXPECT_EQ(over_the_wire, catalog_response());
+  EXPECT_EQ(fixture.request_raw(R"({"op":"catalog"})"), over_the_wire);
+  const json::Value parsed = json::parse(over_the_wire);
+  EXPECT_EQ(parsed.get_string("status", ""), "ok");
+  ASSERT_NE(parsed.find("fixed"), nullptr);
+  ASSERT_NE(parsed.find("generators"), nullptr);
+  ASSERT_NE(parsed.find("smoke"), nullptr);
+  EXPECT_FALSE(parsed.find("fixed")->as_array().empty());
+  EXPECT_FALSE(parsed.find("smoke")->as_array().empty());
+}
+
+TEST(ServeServer, DrainShedsJobsButKeepsIntrospectionAlive) {
+  ServerFixture fixture;
+  EXPECT_EQ(fixture.request_raw(R"({"op":"drain"})"),
+            R"({"status":"ok","op":"drain","draining":true})");
+  // Drain is one-way and idempotent.
+  EXPECT_EQ(fixture.request_raw(R"({"op":"drain"})"),
+            R"({"status":"ok","op":"drain","draining":true})");
+
+  EXPECT_EQ(fixture.request_raw(kSimRequest), draining_response());
+  EXPECT_GE(fixture.stat("requests", "drain_rejected"), 1.0);
+
+  // Introspection ops keep answering on a draining shard.
+  EXPECT_EQ(fixture.request_raw(R"({"op":"ping"})"),
+            R"({"status":"ok","op":"ping"})");
+  const json::Value health = fixture.request(R"({"op":"health"})");
+  EXPECT_FALSE(health.get_bool("accepting", true));
+  EXPECT_TRUE(health.get_bool("draining", false));
+  const json::Value stats = fixture.request(R"({"op":"stats"})");
+  EXPECT_TRUE(stats.get_bool("draining", false));
+}
+
+TEST(ServeServer, ShardIdIsEchoedByHealthAndStats) {
+  ServerOptions options;
+  options.shard_id = "shard-7";
+  ServerFixture fixture(options);
+  EXPECT_EQ(fixture.request(R"({"op":"health"})").get_string("shard_id", ""),
+            "shard-7");
+  EXPECT_EQ(fixture.request(R"({"op":"stats"})").get_string("shard_id", ""),
+            "shard-7");
 }
 
 TEST(ServeServer, StopCancelsSleepingJobsPromptly) {
